@@ -1,0 +1,271 @@
+// Benchmarks regenerating the paper's evaluation figures.
+//
+// The paper's evaluation has three figures; each maps to a benchmark
+// family here (plus ablations and micro-benchmarks of the substrates):
+//
+//	Fig "deviation" (E1): BenchmarkFigDeviation/* — one op runs AH, MH
+//	    and SA on one generated test case and reports the deviation of
+//	    AH and MH from the best solution in objective points.
+//	Fig "runtime" (E2): BenchmarkStrategy{AH,MH,SA}/* — ns/op per sweep
+//	    size IS the figure (the paper's y-axis, on today's hardware).
+//	Fig "future fit" (E3): BenchmarkFigFutureFit/* — one op places the
+//	    current application with AH and MH and tries future samples on
+//	    both; reported metrics are the fit percentages.
+//	Ablations: BenchmarkMHAblation/* — MH with message moves or
+//	    potential-based candidate selection disabled.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// SA uses its full default iteration budget only in BenchmarkStrategySA;
+// the composite figures use a reduced budget so a complete -bench=. run
+// finishes in minutes. cmd/incbench runs the full-strength sweeps.
+package incdes_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"incdes/internal/core"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/sched"
+)
+
+// benchSizes is the paper's sweep of current-application sizes.
+var benchSizes = []int{40, 80, 160, 240, 320}
+
+// benchExisting matches the paper: 400 processes of frozen applications.
+const benchExisting = 400
+
+var (
+	problemCache   = map[int]*core.Problem{}
+	problemCacheMu sync.Mutex
+)
+
+// benchProblem returns (building once) a full-scale problem instance for
+// the given current-application size.
+func benchProblem(b *testing.B, size int) *core.Problem {
+	b.Helper()
+	problemCacheMu.Lock()
+	defer problemCacheMu.Unlock()
+	if p, ok := problemCache[size]; ok {
+		return p
+	}
+	tc, err := gen.MakeTestCase(gen.Default(), 42+int64(size), benchExisting, size)
+	if err != nil {
+		b.Fatalf("generating test case: %v", err)
+	}
+	p, err := core.NewProblem(tc.Sys, tc.Base, tc.Current, tc.Profile,
+		metrics.DefaultWeights(tc.Profile))
+	if err != nil {
+		b.Fatal(err)
+	}
+	problemCache[size] = p
+	return p
+}
+
+// reducedSA keeps composite benchmarks bounded; BenchmarkStrategySA runs
+// the full default budget.
+var reducedSA = core.SAOptions{Iterations: 3000}
+
+// BenchmarkFigDeviation regenerates the paper's first figure: per sweep
+// size, one op solves one test case with all three strategies and reports
+// AH's and MH's deviation from the best objective.
+func BenchmarkFigDeviation(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			var ahDev, mhDev float64
+			for i := 0; i < b.N; i++ {
+				ah, err := core.AdHoc(p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mh, err := core.MappingHeuristic(p, core.MHOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sa, err := core.Anneal(p, reducedSA)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ref := sa.Objective()
+				if mh.Objective() < ref {
+					ref = mh.Objective()
+				}
+				ahDev += ah.Objective() - ref
+				mhDev += mh.Objective() - ref
+			}
+			b.ReportMetric(ahDev/float64(b.N), "AH-dev")
+			b.ReportMetric(mhDev/float64(b.N), "MH-dev")
+		})
+	}
+}
+
+// BenchmarkStrategyAH regenerates the AH series of the paper's second
+// figure: ns/op is the strategy runtime per sweep size.
+func BenchmarkStrategyAH(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AdHoc(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStrategyMH regenerates the MH series of the second figure.
+func BenchmarkStrategyMH(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MappingHeuristic(p, core.MHOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStrategySA regenerates the SA series of the second figure with
+// the full default annealing budget (the near-optimal configuration).
+// This is by far the slowest benchmark, as it was in the paper.
+func BenchmarkStrategySA(b *testing.B) {
+	for _, size := range benchSizes {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Anneal(p, core.SAOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigFutureFit regenerates the paper's third figure: one op maps
+// the current application with AH and MH and tries future applications of
+// 80 processes on both residual systems; the reported metrics are the
+// percentage that fit.
+func BenchmarkFigFutureFit(b *testing.B) {
+	const futureProcs = 80
+	const samples = 3
+	for _, size := range []int{40, 80, 160, 240} {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			ah, err := core.AdHoc(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			mh, err := core.MappingHeuristic(p, core.MHOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var ahFit, mhFit, tried float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				futGen := gen.New(gen.Default(), int64(1000+i))
+				futGen.StartIDsAt(1 << 20)
+				for s := 0; s < samples; s++ {
+					fut := futGen.FutureApp("future", p.Profile, futureProcs)
+					tried++
+					if _, err := ah.State.Clone().MapApp(fut, sched.Hints{}); err == nil {
+						ahFit++
+					}
+					if _, err := mh.State.Clone().MapApp(fut, sched.Hints{}); err == nil {
+						mhFit++
+					}
+				}
+			}
+			b.ReportMetric(100*ahFit/tried, "AH-fit%")
+			b.ReportMetric(100*mhFit/tried, "MH-fit%")
+		})
+	}
+}
+
+// BenchmarkMHAblation quantifies MH's design choices at one sweep size.
+func BenchmarkMHAblation(b *testing.B) {
+	variants := []struct {
+		name string
+		opts core.MHOptions
+	}{
+		{"full", core.MHOptions{}},
+		{"no-msg-moves", core.MHOptions{DisableMsgMoves: true}},
+		{"no-potential", core.MHOptions{RandomCandidates: true}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			p := benchProblem(b, 160)
+			var obj float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sol, err := core.MappingHeuristic(p, v.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				obj += sol.Objective()
+			}
+			b.ReportMetric(obj/float64(b.N), "C")
+		})
+	}
+}
+
+// BenchmarkScheduleApp measures the substrate cost every strategy pays
+// per examined design alternative: clone the frozen base and statically
+// schedule the current application onto it.
+func BenchmarkScheduleApp(b *testing.B) {
+	for _, size := range []int{40, 160, 320} {
+		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
+			p := benchProblem(b, size)
+			sol, err := core.AdHoc(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st := p.Base.Clone()
+				if err := st.ScheduleApp(p.Current, sol.Mapping, sched.Hints{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEvaluate measures one metric evaluation (criteria C1 and C2)
+// on a full design.
+func BenchmarkEvaluate(b *testing.B) {
+	p := benchProblem(b, 160)
+	sol, err := core.AdHoc(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Evaluate(sol.State, p.Profile, p.Weights)
+	}
+}
+
+// BenchmarkStateClone measures the copy cost of a full-scale schedule
+// state, the unit of work behind every what-if evaluation.
+func BenchmarkStateClone(b *testing.B) {
+	p := benchProblem(b, 320)
+	sol, err := core.AdHoc(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sol.State.Clone()
+	}
+}

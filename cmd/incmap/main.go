@@ -1,0 +1,397 @@
+// Command incmap generates, inspects, and maps incremental-design systems.
+//
+// Usage:
+//
+//	incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
+//	incmap inspect  [-sys file]
+//	incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
+//	                [-analyze] [-export file.json] [-export-bin file.img]
+//	incmap verify   [-sys file] [-design file.json]
+//	incmap simulate [-sys file] [-design file.json] [-seed S]
+//	                [-overrun-prob P] [-overrun-factor F]
+//	incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]
+//
+// generate emits a complete random test-case system as JSON (the last
+// application in the file is the current one). inspect summarizes a
+// system file. map freezes every application except the last (scheduling
+// them in arrival order with the initial-mapping algorithm), maps the
+// last one with the chosen strategy, and reports the design metrics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"incdes/internal/analysis"
+	"incdes/internal/core"
+	"incdes/internal/exec"
+	"incdes/internal/export"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/sim"
+	"incdes/internal/textplot"
+	"incdes/internal/tgff"
+	"incdes/internal/tm"
+	"incdes/internal/ttp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "generate":
+		err = cmdGenerate(os.Args[2:])
+	case "inspect":
+		err = cmdInspect(os.Args[2:])
+	case "map":
+		err = cmdMap(os.Args[2:])
+	case "verify":
+		err = cmdVerify(os.Args[2:])
+	case "simulate":
+		err = cmdSimulate(os.Args[2:])
+	case "convert":
+		err = cmdConvert(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incmap:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
+  incmap inspect  [-sys file]
+  incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
+  incmap verify   [-sys file] [-design file.json]
+  incmap simulate [-sys file] [-design file.json] [-seed S] [-overrun-prob P]
+  incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]`)
+}
+
+func cmdGenerate(args []string) error {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	nodes := fs.Int("nodes", 10, "number of processing nodes")
+	existing := fs.Int("existing", 100, "processes in existing applications")
+	current := fs.Int("current", 40, "processes in the current application")
+	seed := fs.Int64("seed", 1, "generator seed")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	cfg := gen.Default()
+	cfg.Nodes = *nodes
+	tc, err := gen.MakeTestCase(cfg, *seed, *existing, *current)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return tc.Sys.WriteJSON(w)
+}
+
+func loadSystem(path string) (*model.System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return model.ReadSystem(f)
+}
+
+func cmdInspect(args []string) error {
+	fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+	sysPath := fs.String("sys", "system.json", "system JSON file")
+	fs.Parse(args)
+
+	sys, err := loadSystem(*sysPath)
+	if err != nil {
+		return err
+	}
+	bus := sys.Arch.Bus
+	fmt.Printf("architecture: %d nodes, TDMA round %v (%d slots)\n",
+		len(sys.Arch.Nodes), bus.RoundLen(), bus.NumSlots())
+	fmt.Printf("hyperperiod:  %v\n", sys.Hyperperiod())
+	for _, a := range sys.Apps {
+		fmt.Printf("application %q: %d graphs, %d processes, %d messages\n",
+			a.Name, len(a.Graphs), a.NumProcs(), a.NumMsgs())
+		for _, g := range a.Graphs {
+			fmt.Printf("  graph %q: %d procs, %d msgs, period %v, deadline %v\n",
+				g.Name, len(g.Procs), len(g.Msgs), g.Period, g.Deadline)
+		}
+	}
+	return nil
+}
+
+// cmdVerify re-validates an exported design against its system model:
+// the independent check a deployment pipeline runs before flashing.
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("verify", flag.ExitOnError)
+	sysPath := fs.String("sys", "system.json", "system JSON file")
+	designPath := fs.String("design", "design.json", "design JSON file")
+	fs.Parse(args)
+
+	sys, err := loadSystem(*sysPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*designPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	design, err := export.ReadDesign(f)
+	if err != nil {
+		return err
+	}
+	errs := export.Check(design, sys, sys.Apps...)
+	if len(errs) == 0 {
+		fmt.Printf("design %s implements %s: all constraints hold\n", *designPath, *sysPath)
+		return nil
+	}
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "violation:", e)
+	}
+	return fmt.Errorf("%d constraint violations", len(errs))
+}
+
+// cmdConvert imports a TGFF task-graph file (the co-design community's
+// benchmark format) as a single-application system around a TDMA bus.
+func cmdConvert(args []string) error {
+	fs := flag.NewFlagSet("convert", flag.ExitOnError)
+	tgffPath := fs.String("tgff", "", "TGFF input file")
+	name := fs.String("name", "tgff", "application name")
+	slotBytes := fs.Int("slot-bytes", 16, "TDMA slot capacity in bytes")
+	byteTime := fs.Int64("byte-time", 1, "bus time per byte")
+	overhead := fs.Int64("slot-overhead", 4, "per-slot overhead time")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+	if *tgffPath == "" {
+		return fmt.Errorf("convert: -tgff is required")
+	}
+	f, err := os.Open(*tgffPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	parsed, err := tgff.Parse(f)
+	if err != nil {
+		return err
+	}
+	sys, err := parsed.Build(*name, tgff.BusConfig{
+		SlotBytes:    *slotBytes,
+		ByteTime:     tm.Time(*byteTime),
+		SlotOverhead: tm.Time(*overhead),
+	})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		of, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer of.Close()
+		w = of
+	}
+	return sys.WriteJSON(w)
+}
+
+// cmdSimulate replays one hyperperiod of an exported design with sampled
+// execution times (optionally injecting WCET overruns) and reports every
+// broken time-triggered assumption.
+func cmdSimulate(args []string) error {
+	fs := flag.NewFlagSet("simulate", flag.ExitOnError)
+	sysPath := fs.String("sys", "system.json", "system JSON file")
+	designPath := fs.String("design", "design.json", "design JSON file")
+	seed := fs.Int64("seed", 1, "execution-time sampling seed")
+	overrunProb := fs.Float64("overrun-prob", 0, "probability an activation exceeds its WCET")
+	overrunFactor := fs.Float64("overrun-factor", 1.5, "WCET multiple of an injected overrun")
+	fs.Parse(args)
+
+	sys, err := loadSystem(*sysPath)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*designPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	design, err := export.ReadDesign(f)
+	if err != nil {
+		return err
+	}
+	res, err := exec.Run(design, sys, sys.Apps, exec.Options{
+		Seed:          *seed,
+		OverrunProb:   *overrunProb,
+		OverrunFactor: *overrunFactor,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("executed %d activations and %d frames over %v; dynamic slack %v\n",
+		res.Activations, res.Frames, design.Horizon, res.TotalIdle)
+	if len(res.Violations) == 0 {
+		fmt.Println("no time-triggered assumptions violated")
+		return nil
+	}
+	for _, v := range res.Violations {
+		fmt.Println("violation:", v)
+	}
+	return fmt.Errorf("%d violations", len(res.Violations))
+}
+
+func cmdMap(args []string) error {
+	fs := flag.NewFlagSet("map", flag.ExitOnError)
+	sysPath := fs.String("sys", "system.json", "system JSON file")
+	strategy := fs.String("strategy", "mh", "mapping strategy: ah, mh or sa")
+	gantt := fs.Bool("gantt", false, "print a Gantt chart of the result")
+	medl := fs.Bool("medl", false, "print the resulting MEDL")
+	analyze := fs.Bool("analyze", false, "print response times and utilization")
+	svgPath := fs.String("svg", "", "write an SVG Gantt chart to this file")
+	exportJSON := fs.String("export", "", "write the deployable design as JSON to this file")
+	exportBin := fs.String("export-bin", "", "write the binary design image to this file")
+	saIters := fs.Int("sa-iters", 0, "SA iterations (0 = default)")
+	fs.Parse(args)
+
+	sys, err := loadSystem(*sysPath)
+	if err != nil {
+		return err
+	}
+	if len(sys.Apps) == 0 {
+		return fmt.Errorf("system has no applications")
+	}
+	current := sys.Apps[len(sys.Apps)-1]
+
+	// Freeze everything except the last application.
+	base, err := sched.NewState(sys)
+	if err != nil {
+		return err
+	}
+	for _, app := range sys.Apps[:len(sys.Apps)-1] {
+		if _, err := base.MapApp(app, sched.Hints{}); err != nil {
+			return fmt.Errorf("scheduling existing application %q: %w", app.Name, err)
+		}
+	}
+
+	prof := gen.ProfileForSystem(gen.Default(), sys)
+	p, err := core.NewProblem(sys, base, current, prof, metrics.DefaultWeights(prof))
+	if err != nil {
+		return err
+	}
+
+	var sol *core.Solution
+	switch *strategy {
+	case "ah":
+		sol, err = core.AdHoc(p)
+	case "mh":
+		sol, err = core.MappingHeuristic(p, core.MHOptions{})
+	case "sa":
+		sol, err = core.Anneal(p, core.SAOptions{Iterations: *saIters})
+	default:
+		return fmt.Errorf("unknown strategy %q", *strategy)
+	}
+	if err != nil {
+		return err
+	}
+
+	if vs := sim.Check(sol.State, sys.Apps...); len(vs) != 0 {
+		return fmt.Errorf("internal error: schedule fails validation: %v", vs[0])
+	}
+
+	fmt.Printf("strategy %s mapped %q in %v (%d design alternatives examined)\n",
+		sol.Strategy, current.Name, sol.Elapsed.Round(time.Millisecond), sol.Evaluations)
+	fmt.Printf("metrics: %v\n", sol.Report)
+	fmt.Printf("future profile: Tmin=%v tneed=%v bneed=%dB\n", prof.Tmin, prof.TNeed, prof.BNeedBytes)
+	if *gantt {
+		fmt.Println()
+		fmt.Print(textplot.Gantt(sol.State, 100))
+	}
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(textplot.GanttSVG(sol.State, 1000)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("SVG Gantt written to %s\n", *svgPath)
+	}
+	if *analyze {
+		rep, err := analysis.Analyze(sol.State, sys.Apps...)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(rep.String())
+	}
+	if *exportJSON != "" || *exportBin != "" {
+		design, err := export.Build(sol.State)
+		if err != nil {
+			return err
+		}
+		if *exportJSON != "" {
+			f, err := os.Create(*exportJSON)
+			if err != nil {
+				return err
+			}
+			if err := design.WriteJSON(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("design written to %s\n", *exportJSON)
+		}
+		if *exportBin != "" {
+			f, err := os.Create(*exportBin)
+			if err != nil {
+				return err
+			}
+			if err := design.EncodeBinary(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("binary image written to %s\n", *exportBin)
+		}
+	}
+	if *medl {
+		placements := make([]ttp.Placement, 0, len(sol.State.MsgEntries()))
+		for _, e := range sol.State.MsgEntries() {
+			placements = append(placements, ttp.Placement{
+				Msg: e.Msg, Occ: e.Occ, Round: e.Round, Slot: e.Slot, Bytes: e.Bytes,
+			})
+		}
+		entries, err := ttp.BuildMEDL(sys.Arch.Bus, placements)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nMEDL (%d entries):\n", len(entries))
+		for i, e := range entries {
+			if i == 40 {
+				fmt.Printf("  … %d more\n", len(entries)-40)
+				break
+			}
+			fmt.Printf("  round %3d slot %2d off %2dB: msg %4d occ %d (%dB) node %d [%v,%v)\n",
+				e.Round, e.Slot, e.Offset, e.Msg, e.Occ, e.Bytes, e.Owner, e.Start, e.End)
+		}
+	}
+	return nil
+}

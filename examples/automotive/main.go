@@ -1,0 +1,172 @@
+// Automotive: the scenario the paper's introduction motivates. A vehicle
+// ECU network (5 nodes on a TTP bus) already runs engine management and
+// an anti-lock braking application, both frozen since the last product
+// version. The current increment adds adaptive cruise control. Marketing
+// expects a lane-keeping assistant in the next version — known today only
+// as a family characterization (Tmin, tneed, bneed, size histograms).
+//
+// The example maps the cruise-control application twice — once with the
+// performance-only ad-hoc strategy, once with the paper's mapping
+// heuristic — and then checks which design still accommodates the
+// lane-keeping application when it finally arrives.
+//
+// Run with: go run ./examples/automotive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"incdes/internal/core"
+	"incdes/internal/future"
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/textplot"
+	"incdes/internal/tm"
+)
+
+const period = 1600 // base period of all control loops, in time units
+
+// buildSystem assembles the ECU network and the three applications.
+func buildSystem() (*model.System, []*model.Application, *model.Application, *model.Application) {
+	b := model.NewBuilder()
+	ecu := make([]model.NodeID, 5)
+	names := []string{"engine", "brake-fl", "brake-rr", "body", "sensor"}
+	for i, n := range names {
+		ecu[i] = b.Node(n)
+	}
+	b.UniformBus(16, 1, 4) // 16-byte slots, 20 tu each, 100 tu round
+
+	// Existing application 1: engine management — a sensing/actuation
+	// pipeline pinned mostly to the engine ECU.
+	eng := b.App("engine-management")
+	g := eng.Graph("injection", period, period)
+	sense := g.Proc("crank-sense", map[model.NodeID]tm.Time{ecu[0]: 60, ecu[4]: 80})
+	mix := g.Proc("mixture", map[model.NodeID]tm.Time{ecu[0]: 120})
+	inject := g.Proc("injectors", map[model.NodeID]tm.Time{ecu[0]: 90})
+	diag := g.Proc("diagnostics", map[model.NodeID]tm.Time{ecu[0]: 70, ecu[3]: 60})
+	g.Msg(sense, mix, 4)
+	g.Msg(mix, inject, 4)
+	g.Msg(mix, diag, 2)
+
+	// Existing application 2: anti-lock braking across the wheel ECUs.
+	abs := b.App("abs")
+	g2 := abs.Graph("abs-loop", period/2, period/2)
+	wheel1 := g2.Proc("wheel-speed-fl", map[model.NodeID]tm.Time{ecu[1]: 50})
+	wheel2 := g2.Proc("wheel-speed-rr", map[model.NodeID]tm.Time{ecu[2]: 50})
+	ctrl := g2.Proc("slip-control", map[model.NodeID]tm.Time{ecu[1]: 110, ecu[2]: 110, ecu[3]: 100})
+	act1 := g2.Proc("valve-fl", map[model.NodeID]tm.Time{ecu[1]: 40})
+	act2 := g2.Proc("valve-rr", map[model.NodeID]tm.Time{ecu[2]: 40})
+	g2.Msg(wheel1, ctrl, 4)
+	g2.Msg(wheel2, ctrl, 4)
+	g2.Msg(ctrl, act1, 2)
+	g2.Msg(ctrl, act2, 2)
+
+	// Current application: adaptive cruise control — radar tracking,
+	// target selection, distance control, torque request.
+	acc := b.App("adaptive-cruise")
+	g3 := acc.Graph("acc-loop", period, period)
+	radar := g3.Proc("radar", map[model.NodeID]tm.Time{ecu[4]: 150})
+	track := g3.Proc("tracking", map[model.NodeID]tm.Time{ecu[3]: 200, ecu[4]: 180})
+	sel := g3.Proc("target-select", map[model.NodeID]tm.Time{ecu[3]: 90, ecu[4]: 110})
+	dist := g3.Proc("distance-ctrl", map[model.NodeID]tm.Time{ecu[0]: 120, ecu[3]: 110})
+	torque := g3.Proc("torque-req", map[model.NodeID]tm.Time{ecu[0]: 60})
+	hmi := g3.Proc("driver-display", map[model.NodeID]tm.Time{ecu[3]: 80})
+	g3.Msg(radar, track, 8)
+	g3.Msg(track, sel, 6)
+	g3.Msg(sel, dist, 4)
+	g3.Msg(dist, torque, 2)
+	g3.Msg(sel, hmi, 2)
+
+	sys, err := b.System()
+	if err != nil {
+		log.Fatal(err)
+	}
+	existing := []*model.Application{eng.Application(), abs.Application()}
+	return sys, existing, acc.Application(), nil
+}
+
+// laneKeeping is the future application once it becomes concrete: camera
+// processing and steering control at the fast Tmin rate.
+func laneKeeping(sys *model.System) *model.Application {
+	var ecu []model.NodeID
+	for _, n := range sys.Arch.Nodes {
+		ecu = append(ecu, n.ID)
+	}
+	g := &model.Graph{ID: 900, Name: "lane-keep", Period: period / 4, Deadline: period / 4}
+	add := func(id model.ProcID, name string, wcet map[model.NodeID]tm.Time) model.ProcID {
+		g.Procs = append(g.Procs, &model.Process{ID: id, Name: name, WCET: wcet})
+		return id
+	}
+	cam := add(901, "camera", map[model.NodeID]tm.Time{ecu[4]: 90, ecu[3]: 100})
+	lane := add(902, "lane-detect", map[model.NodeID]tm.Time{ecu[3]: 100, ecu[4]: 110})
+	steer := add(903, "steer-ctrl", map[model.NodeID]tm.Time{ecu[1]: 60, ecu[2]: 60, ecu[3]: 70})
+	g.Msgs = []*model.Message{
+		{ID: 910, Src: cam, Dst: lane, Bytes: 8},
+		{ID: 911, Src: lane, Dst: steer, Bytes: 4},
+	}
+	return &model.Application{ID: 90, Name: "lane-keeping", Graphs: []*model.Graph{g}}
+}
+
+func main() {
+	sys, existing, acc, _ := buildSystem()
+
+	// Freeze the existing applications (they shipped in version N-1).
+	base, err := sched.NewState(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, app := range existing {
+		if _, err := base.MapApp(app, sched.Hints{}); err != nil {
+			log.Fatalf("existing application %q: %v", app.Name, err)
+		}
+	}
+
+	// The lane-keeping assistant is only a characterization today: it
+	// will run every 400 tu and need ~260 tu of processor time and 12
+	// bytes of bus capacity inside each such period.
+	prof := &future.Profile{
+		Tmin: period / 4, TNeed: 260, BNeedBytes: 12,
+		WCET:     []future.Bin{{Size: 60, Prob: 0.3}, {Size: 90, Prob: 0.4}, {Size: 110, Prob: 0.3}},
+		MsgBytes: []future.Bin{{Size: 4, Prob: 0.6}, {Size: 8, Prob: 0.4}},
+	}
+
+	problem, err := core.NewProblem(sys, base, acc, prof, metrics.DefaultWeights(prof))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ah, err := core.AdHoc(problem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mh, err := core.MappingHeuristic(problem, core.MHOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("adaptive cruise control mapped on the residual system:")
+	fmt.Printf("  AH (performance only):   %v\n", ah.Report)
+	fmt.Printf("  MH (incremental design): %v\n", mh.Report)
+
+	fmt.Println("\nAH design (A=engine, B=abs, C=cruise):")
+	fmt.Print(textplot.Gantt(ah.State, 72))
+	fmt.Println("\nMH design:")
+	fmt.Print(textplot.Gantt(mh.State, 72))
+
+	// Version N+1 arrives: try to add lane keeping to both designs.
+	fut := laneKeeping(sys)
+	if err := fut.Validate(sys.Arch); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nversion N+1: adding the lane-keeping assistant")
+	for _, sol := range []*core.Solution{ah, mh} {
+		st := sol.State.Clone()
+		if _, err := st.MapApp(fut, sched.Hints{}); err != nil {
+			fmt.Printf("  after %s: DOES NOT FIT (%v)\n", sol.Strategy, err)
+		} else {
+			fmt.Printf("  after %s: fits — all deadlines met\n", sol.Strategy)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module incdes
+
+go 1.22

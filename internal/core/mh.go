@@ -1,0 +1,529 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// MHOptions tune the mapping heuristic. The zero value selects defaults
+// sized like the paper's: a small set of high-potential candidates per
+// iteration, so MH stays orders of magnitude cheaper than annealing.
+type MHOptions struct {
+	// MaxIterations bounds the improvement loop (default 50).
+	MaxIterations int
+	// ProcCandidates is how many high-potential processes are examined
+	// per iteration (default 5).
+	ProcCandidates int
+	// TargetsPerNode is how many slack positions are tried per candidate
+	// process and node (default 2; the ASAP position is always tried).
+	TargetsPerNode int
+	// MsgCandidates is how many messages are examined per iteration
+	// (default 4).
+	MsgCandidates int
+	// MsgTargets is how many alternative slot occurrences are tried per
+	// candidate message (default 2).
+	MsgTargets int
+	// TargetNodes bounds how many processors are tried per candidate
+	// process: its current node plus the TargetNodes allowed nodes with
+	// the most total slack (default 3). Negative scans all allowed nodes.
+	TargetNodes int
+	// MinImprovement is the objective decrease a move must achieve to be
+	// applied (default 1e-9, i.e. any strict improvement).
+	MinImprovement float64
+	// DisableMsgMoves turns off message transformations (ablation).
+	DisableMsgMoves bool
+	// RandomCandidates replaces potential-based candidate selection with
+	// the first processes in ID order (ablation of the "highest
+	// potential" rule).
+	RandomCandidates bool
+	// SeedHints are placement hints applied to the initial mapping and
+	// kept as the starting design; individual moves then override them
+	// per process or message. Used when the caller wants MH to improve a
+	// particular layout (e.g. a deliberately spread-out one) instead of
+	// the ASAP-packed initial mapping.
+	SeedHints sched.Hints
+}
+
+func (o MHOptions) withDefaults() MHOptions {
+	if o.MaxIterations == 0 {
+		o.MaxIterations = 50
+	}
+	if o.ProcCandidates == 0 {
+		o.ProcCandidates = 5
+	}
+	if o.TargetsPerNode == 0 {
+		o.TargetsPerNode = 2
+	}
+	if o.MsgCandidates == 0 {
+		o.MsgCandidates = 4
+	}
+	if o.MsgTargets == 0 {
+		o.MsgTargets = 2
+	}
+	if o.MinImprovement == 0 {
+		o.MinImprovement = 1e-9
+	}
+	if o.TargetNodes == 0 {
+		o.TargetNodes = 3
+	}
+	return o
+}
+
+// MappingHeuristic is the MH strategy: start from the initial mapping,
+// then repeatedly apply the single design transformation that improves
+// the objective most, examining only the transformations with the highest
+// potential — processes bordering the smallest slack fragments (moving
+// them merges slack) and messages in the most congested slot occurrences.
+func MappingHeuristic(p *Problem, opts MHOptions) (*Solution, error) {
+	o := opts.withDefaults()
+	start := time.Now()
+
+	mapping, st, err := p.initial(o.SeedHints)
+	if err != nil {
+		return nil, err
+	}
+	hints := o.SeedHints.Clone()
+	report := metrics.Evaluate(st, p.Profile, p.Weights)
+	evals := 1
+	ix := model.NewIndex(p.Current)
+
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		type alternative struct {
+			mapping model.Mapping
+			hints   sched.Hints
+			st      *sched.State
+			report  metrics.Report
+		}
+		var best *alternative
+
+		// better reports whether a is a strict improvement over b: lower
+		// objective, or — when several bottleneck windows tie and the
+		// min-based objective is flat — equal objective with a strictly
+		// higher periodic fill.
+		better := func(a, b metrics.Report) bool {
+			if a.Objective < b.Objective-o.MinImprovement {
+				return true
+			}
+			return a.Objective < b.Objective+o.MinImprovement &&
+				a.PeriodicFill > b.PeriodicFill+0.5
+		}
+		consider := func(nm model.Mapping, nh sched.Hints) {
+			st2, rep2, err := p.evaluate(nm, nh)
+			evals++
+			if err != nil {
+				return // invalid design alternative: requirement (a) rules it out
+			}
+			ref := report
+			if best != nil {
+				ref = best.report
+			}
+			if better(rep2, ref) {
+				best = &alternative{mapping: nm, hints: nh, st: st2, report: rep2}
+			}
+		}
+
+		// Process moves: candidate x (node, slack position). Candidates
+		// come from two potential sources: processes bordering the
+		// smallest slack fragments (criterion 1) and processes inside the
+		// tightest Tmin windows (criterion 2).
+		cands := procCandidates(st, p.Current, ix, o.ProcCandidates, o.RandomCandidates)
+		cands = mergeCandidates(cands,
+			windowCandidates(st, p.Current, p.Profile.Tmin, 1), o.ProcCandidates+len(p.Sys.Arch.Nodes))
+		for _, cand := range cands {
+			proc := ix.Proc[cand]
+			g := ix.GraphOf[cand]
+			for _, node := range targetNodes(st, proc, mapping[cand], o.TargetNodes) {
+				offs := targetOffsets(st, node, proc.WCET[node], g.Period, p.Profile.Tmin, o.TargetsPerNode)
+				for _, off := range offs {
+					if node == mapping[cand] && hints.ProcStart[cand] == off {
+						continue // the current design, not a move
+					}
+					nm := mapping.Clone()
+					nm[cand] = node
+					consider(nm, hints.SetProcStart(cand, off))
+				}
+			}
+		}
+
+		// Message moves: candidate x later slot occurrence.
+		if !o.DisableMsgMoves {
+			for _, mc := range msgCandidates(st, p.Current, o.MsgCandidates) {
+				g := ix.MsgGraph[mc.id]
+				for _, off := range msgTargetOffsets(st, mc, g.Period, o.MsgTargets) {
+					if hints.MsgStart[mc.id] == off {
+						continue
+					}
+					consider(mapping, hints.SetMsgStart(mc.id, off))
+				}
+			}
+		}
+
+		if best == nil {
+			break // local optimum: no examined transformation improves C
+		}
+		mapping, hints, st, report = best.mapping, best.hints, best.st, best.report
+	}
+
+	return &Solution{
+		Strategy:    "MH",
+		Mapping:     mapping,
+		Hints:       hints,
+		State:       st,
+		Report:      report,
+		Elapsed:     time.Since(start),
+		Evaluations: evals,
+	}, nil
+}
+
+// targetNodes selects the processors worth trying for a candidate
+// process: its current node plus the k allowed nodes with the most total
+// slack. k < 0 returns every allowed node.
+func targetNodes(st *sched.State, proc *model.Process, current model.NodeID, k int) []model.NodeID {
+	allowed := proc.AllowedNodes()
+	if k < 0 || len(allowed) <= k+1 {
+		return allowed
+	}
+	slackOf := func(n model.NodeID) tm.Time {
+		return st.Horizon() - st.Busy(n).Total()
+	}
+	sorted := append([]model.NodeID(nil), allowed...)
+	sort.Slice(sorted, func(i, j int) bool {
+		si, sj := slackOf(sorted[i]), slackOf(sorted[j])
+		if si != sj {
+			return si > sj
+		}
+		return sorted[i] < sorted[j]
+	})
+	out := []model.NodeID{current}
+	for _, n := range sorted {
+		if len(out) > k {
+			break
+		}
+		if n != current {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// procCandidates returns the processes of the current application with the
+// highest potential to improve the design when moved: those whose
+// schedule entries border the smallest non-zero slack fragments on their
+// processor. Moving such a process merges its fragment with the slack
+// freed by the move.
+func procCandidates(st *sched.State, app *model.Application, ix *model.Index,
+	k int, randomOrder bool) []model.ProcID {
+
+	if randomOrder {
+		// Ablation mode: just take the first k processes by ID.
+		var ids []model.ProcID
+		for _, g := range app.Graphs {
+			for _, p := range g.Procs {
+				ids = append(ids, p.ID)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		if len(ids) > k {
+			ids = ids[:k]
+		}
+		return ids
+	}
+
+	gapsByNode := map[model.NodeID][]tm.Interval{}
+	for _, n := range st.System().Arch.Nodes {
+		gapsByNode[n.ID] = st.Busy(n.ID).Gaps(tm.Iv(0, st.Horizon()))
+	}
+	scores := map[model.ProcID]float64{}
+	for _, e := range st.ProcEntries() {
+		if e.App != app.ID {
+			continue
+		}
+		score := fragmentScore(gapsByNode[e.Node], e.Start, e.End)
+		if cur, ok := scores[e.Proc]; !ok || score < cur {
+			scores[e.Proc] = score
+		}
+	}
+	ids := make([]model.ProcID, 0, len(scores))
+	for id := range scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if scores[ids[i]] != scores[ids[j]] {
+			return scores[ids[i]] < scores[ids[j]]
+		}
+		return ids[i] < ids[j]
+	})
+	if len(ids) > k {
+		ids = ids[:k]
+	}
+	return ids
+}
+
+// mergeCandidates concatenates two candidate lists, removing duplicates
+// and capping the result at max entries.
+func mergeCandidates(a, b []model.ProcID, max int) []model.ProcID {
+	seen := map[model.ProcID]bool{}
+	var out []model.ProcID
+	for _, list := range [][]model.ProcID{a, b} {
+		for _, id := range list {
+			if !seen[id] && len(out) < max {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// windowCandidates returns processes of the current application running
+// inside the tightest Tmin windows: moving them out directly raises the
+// minimum periodic slack (criterion 2). C2P sums one minimum per node, so
+// candidates are selected per node — up to perNode processes from each
+// node's own bottleneck window — rather than globally, which would let a
+// single congested node monopolize the candidate set.
+func windowCandidates(st *sched.State, app *model.Application, tmin tm.Time, perNode int) []model.ProcID {
+	if tmin <= 0 || perNode <= 0 {
+		return nil
+	}
+	horizon := st.Horizon()
+	nWin := int(horizon / tmin)
+	if nWin == 0 {
+		nWin = 1
+		tmin = horizon
+	}
+	if perNode > 2 {
+		perNode = 2
+	}
+
+	// Group the current application's entries by node.
+	byNode := map[model.NodeID][]sched.ProcEntry{}
+	for _, e := range st.ProcEntries() {
+		if e.App == app.ID {
+			byNode[e.Node] = append(byNode[e.Node], e)
+		}
+	}
+
+	var ids []model.ProcID
+	seen := map[model.ProcID]bool{}
+	for _, n := range st.System().Arch.NodeIDs() {
+		gaps := st.Busy(n).Gaps(tm.Iv(0, horizon))
+		// Find this node's minimum-slack window.
+		minW, minSlack := -1, tm.Infinity
+		for w := 0; w < nWin; w++ {
+			win := tm.Iv(tm.Time(w)*tmin, tm.Time(w+1)*tmin)
+			var s tm.Time
+			for _, g := range gaps {
+				s += g.Intersect(win).Len()
+			}
+			if s < minSlack {
+				minSlack, minW = s, w
+			}
+		}
+		if minW < 0 {
+			continue
+		}
+		win := tm.Iv(tm.Time(minW)*tmin, tm.Time(minW+1)*tmin)
+		// Current-application processes overlapping the bottleneck window,
+		// largest overlap first (moving them frees the most).
+		cands := make([]sched.ProcEntry, 0, 4)
+		for _, e := range byNode[n] {
+			if tm.Iv(e.Start, e.End).Overlaps(win) {
+				cands = append(cands, e)
+			}
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			oi := tm.Iv(cands[i].Start, cands[i].End).Intersect(win).Len()
+			oj := tm.Iv(cands[j].Start, cands[j].End).Intersect(win).Len()
+			if oi != oj {
+				return oi > oj
+			}
+			return cands[i].Proc < cands[j].Proc
+		})
+		added := 0
+		for _, e := range cands {
+			if added >= perNode {
+				break
+			}
+			if !seen[e.Proc] {
+				seen[e.Proc] = true
+				ids = append(ids, e.Proc)
+				added++
+			}
+		}
+	}
+	return ids
+}
+
+// fragmentScore returns the size of the smallest non-empty slack fragment
+// directly adjacent to the busy interval [start, end); +Inf when no
+// fragment borders it.
+func fragmentScore(gaps []tm.Interval, start, end tm.Time) float64 {
+	score := math.Inf(1)
+	for _, g := range gaps {
+		if g.End == start || g.Start == end {
+			score = math.Min(score, float64(g.Len()))
+		}
+		if g.Start > end {
+			break
+		}
+	}
+	return score
+}
+
+// targetOffsets enumerates slack positions on a node where a process of
+// the given WCET fits, expressed as start offsets relative to the graph
+// release. Two kinds of position have the highest potential: the start of
+// the largest slack interval (keeps slack contiguous, criterion 1) and
+// positions inside the Tmin windows that currently hold the most slack
+// (evens out the periodic distribution, criterion 2). The ASAP position
+// (offset 0) is always included.
+func targetOffsets(st *sched.State, node model.NodeID, wcet, period, tmin tm.Time, k int) []tm.Time {
+	gaps := st.Busy(node).Gaps(tm.Iv(0, st.Horizon()))
+	offs := []tm.Time{0}
+	seen := map[tm.Time]bool{0: true}
+	add := func(start tm.Time) {
+		off := start % period
+		if off+wcet > period {
+			return // would always straddle the deadline boundary
+		}
+		if !seen[off] {
+			seen[off] = true
+			offs = append(offs, off)
+		}
+	}
+
+	// The start of the largest fitting slack interval.
+	var largest tm.Interval
+	for _, g := range gaps {
+		if g.Len() >= wcet && g.Len() > largest.Len() {
+			largest = g
+		}
+	}
+	if !largest.Empty() {
+		add(largest.Start)
+	}
+
+	// The earliest fitting position inside each of the k emptiest Tmin
+	// windows of this node.
+	if tmin > 0 && tmin <= st.Horizon() {
+		nWin := int(st.Horizon() / tmin)
+		type winInfo struct {
+			idx   int
+			slack tm.Time
+			start tm.Time // earliest fitting start in the window, -1 if none
+		}
+		wins := make([]winInfo, 0, nWin)
+		for w := 0; w < nWin; w++ {
+			win := tm.Iv(tm.Time(w)*tmin, tm.Time(w+1)*tmin)
+			info := winInfo{idx: w, start: -1}
+			for _, g := range gaps {
+				iv := g.Intersect(win)
+				info.slack += iv.Len()
+				// A process placed at iv.Start must fit in the gap g
+				// (it may spill into the next window, which is fine).
+				if info.start < 0 && !iv.Empty() && g.End-iv.Start >= wcet {
+					info.start = iv.Start
+				}
+			}
+			wins = append(wins, info)
+		}
+		sort.Slice(wins, func(i, j int) bool {
+			if wins[i].slack != wins[j].slack {
+				return wins[i].slack > wins[j].slack
+			}
+			return wins[i].idx < wins[j].idx
+		})
+		added := 0
+		for _, w := range wins {
+			if added >= k {
+				break
+			}
+			if w.start >= 0 {
+				add(w.start)
+				added++
+			}
+		}
+	}
+	return offs
+}
+
+// msgCandidate is one message of the current design with its bus context.
+type msgCandidate struct {
+	id     model.MsgID
+	bytes  int
+	sender model.NodeID
+	free   int // free bytes left in its current slot occurrence
+}
+
+// msgCandidates returns the messages in the most congested slot
+// occurrences: moving them out has the highest potential to recover
+// contiguous bus slack.
+func msgCandidates(st *sched.State, app *model.Application, k int) []msgCandidate {
+	seen := map[model.MsgID]msgCandidate{}
+	for _, e := range st.MsgEntries() {
+		if e.App != app.ID {
+			continue
+		}
+		free := st.BusState().Free(e.Round, e.Slot)
+		if cur, ok := seen[e.Msg]; !ok || free < cur.free {
+			seen[e.Msg] = msgCandidate{id: e.Msg, bytes: e.Bytes, sender: e.Sender, free: free}
+		}
+	}
+	cands := make([]msgCandidate, 0, len(seen))
+	for _, c := range seen {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].free != cands[j].free {
+			return cands[i].free < cands[j].free
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	return cands
+}
+
+// msgTargetOffsets enumerates alternative slot occurrences for a message,
+// as slot-start offsets relative to the graph release: the emptiest slots
+// of the sender's node, plus the ASAP position.
+func msgTargetOffsets(st *sched.State, mc msgCandidate, period tm.Time, k int) []tm.Time {
+	bus := st.BusState()
+	occs := bus.Occurrences()
+	type occ struct {
+		start tm.Time
+		free  int
+	}
+	var cands []occ
+	for _, o := range occs {
+		if o.Owner == mc.sender && o.FreeBytes >= mc.bytes {
+			cands = append(cands, occ{start: o.Start, free: o.FreeBytes})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].free != cands[j].free {
+			return cands[i].free > cands[j].free
+		}
+		return cands[i].start < cands[j].start
+	})
+	offs := []tm.Time{0}
+	seen := map[tm.Time]bool{0: true}
+	for _, c := range cands {
+		if len(offs) > k {
+			break
+		}
+		off := c.start % period
+		if !seen[off] {
+			seen[off] = true
+			offs = append(offs, off)
+		}
+	}
+	return offs
+}

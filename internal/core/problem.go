@@ -1,0 +1,139 @@
+// Package core implements the paper's contribution: mapping and
+// scheduling strategies for the incremental design process. Given a
+// system whose existing applications are frozen in the schedule, a
+// current application to place, and a characterization of the future
+// applications, each strategy produces a mapping and schedule of the
+// current application that
+//
+//	(a) meets every deadline without touching the existing applications
+//	    (guaranteed by construction: strategies only add to a clone of
+//	    the frozen base schedule), and
+//	(b) scores well on the future-accommodation objective C of package
+//	    metrics.
+//
+// Three strategies are provided, exactly as evaluated in the paper:
+//
+//   - AdHoc (AH): the initial mapping alone — the Heterogeneous Critical
+//     Path list mapper optimizing only for performance. The baseline with
+//     "little support for incremental design".
+//   - MappingHeuristic (MH): iterative improvement that examines only the
+//     design transformations with the highest potential — moving a
+//     process into a different slack on the same or a different
+//     processor, or moving a message into a different slack on the bus.
+//   - Anneal (SA): simulated annealing over the same move set, run long
+//     enough to serve as the near-optimal reference.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"incdes/internal/future"
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+)
+
+// ErrUnschedulable is wrapped by strategies when the current application
+// admits no valid design under the frozen existing schedule.
+var ErrUnschedulable = errors.New("core: current application is unschedulable")
+
+// Problem is one incremental mapping instance.
+type Problem struct {
+	Sys     *model.System
+	Base    *sched.State // existing applications, scheduled and frozen
+	Current *model.Application
+	Profile *future.Profile
+	Weights metrics.Weights
+}
+
+// NewProblem validates and assembles a problem instance. The base state
+// must have been built over sys (same hyperperiod); current must be one of
+// sys.Apps and not already scheduled in base.
+func NewProblem(sys *model.System, base *sched.State, current *model.Application,
+	prof *future.Profile, w metrics.Weights) (*Problem, error) {
+
+	if base.System() != sys {
+		return nil, fmt.Errorf("core: base schedule belongs to a different system")
+	}
+	found := false
+	for _, a := range sys.Apps {
+		if a == current {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("core: current application %q is not part of the system", current.Name)
+	}
+	for _, g := range current.Graphs {
+		for _, p := range g.Procs {
+			if _, scheduled := base.Mapping()[p.ID]; scheduled {
+				return nil, fmt.Errorf("core: process %d of the current application is already in the base schedule", p.ID)
+			}
+		}
+	}
+	if err := prof.Validate(); err != nil {
+		return nil, err
+	}
+	return &Problem{Sys: sys, Base: base, Current: current, Profile: prof, Weights: w}, nil
+}
+
+// Solution is the outcome of one strategy run.
+type Solution struct {
+	Strategy string
+	Mapping  model.Mapping
+	Hints    sched.Hints
+	State    *sched.State // base + current, scheduled
+	Report   metrics.Report
+	Elapsed  time.Duration
+	// Evaluations counts the design alternatives examined (each one is a
+	// full re-schedule of the current application plus a metric
+	// evaluation); it is the strategy's cost measure alongside Elapsed.
+	Evaluations int
+}
+
+// Objective returns the solution's objective value C.
+func (s *Solution) Objective() float64 { return s.Report.Objective }
+
+// evaluate schedules the current application on a clone of the base with
+// the given design decisions and scores the result. It is the single
+// evaluation primitive every strategy shares.
+func (p *Problem) evaluate(mapping model.Mapping, hints sched.Hints) (*sched.State, metrics.Report, error) {
+	st := p.Base.Clone()
+	if err := st.ScheduleApp(p.Current, mapping, hints); err != nil {
+		return nil, metrics.Report{}, err
+	}
+	return st, metrics.Evaluate(st, p.Profile, p.Weights), nil
+}
+
+// initial runs the Heterogeneous Critical Path initial mapping (IM) and
+// returns the resulting design decisions and state.
+func (p *Problem) initial(hints sched.Hints) (model.Mapping, *sched.State, error) {
+	st := p.Base.Clone()
+	mapping, err := st.MapApp(p.Current, hints)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w: %v", ErrUnschedulable, err)
+	}
+	return mapping, st, nil
+}
+
+// AdHoc is the AH strategy: construct the initial mapping and stop. It
+// optimizes the current application's finish times and ignores the future.
+func AdHoc(p *Problem) (*Solution, error) {
+	start := time.Now()
+	mapping, st, err := p.initial(sched.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Strategy:    "AH",
+		Mapping:     mapping,
+		Hints:       sched.Hints{},
+		State:       st,
+		Report:      metrics.Evaluate(st, p.Profile, p.Weights),
+		Elapsed:     time.Since(start),
+		Evaluations: 1,
+	}, nil
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// SAOptions tune the simulated annealing reference strategy.
+type SAOptions struct {
+	// Seed drives the annealer's random walk (default 1).
+	Seed int64
+	// Iterations is the total number of evaluated neighbors. The default
+	// scales with the application size: 60 per process, at least 3000 —
+	// enough to serve as the near-optimal reference the deviations in
+	// the paper's first experiment are measured against.
+	Iterations int
+	// InitialTemp is the starting temperature in objective units
+	// (default 40: early on, moves ~40 objective points uphill are
+	// frequently accepted).
+	InitialTemp float64
+	// FinalTemp ends the geometric cooling (default 0.1).
+	FinalTemp float64
+}
+
+func (o SAOptions) withDefaults(nProcs int) SAOptions {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Iterations == 0 {
+		o.Iterations = 60 * nProcs
+		if o.Iterations < 3000 {
+			o.Iterations = 3000
+		}
+	}
+	if o.InitialTemp == 0 {
+		o.InitialTemp = 40
+	}
+	if o.FinalTemp == 0 {
+		o.FinalTemp = 0.1
+	}
+	return o
+}
+
+// Anneal is the SA strategy: simulated annealing over the full design
+// space of the current application — remapping processes, moving
+// processes between slacks, and moving messages between slot occurrences
+// — minimizing the objective C. With default options it is far slower
+// than MH and serves as the near-optimal reference.
+func Anneal(p *Problem, opts SAOptions) (*Solution, error) {
+	o := opts.withDefaults(p.Current.NumProcs())
+	start := time.Now()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	mapping, st, err := p.initial(sched.Hints{})
+	if err != nil {
+		return nil, err
+	}
+	hints := sched.Hints{}
+	report := metrics.Evaluate(st, p.Profile, p.Weights)
+	evals := 1
+
+	best := &Solution{
+		Strategy: "SA",
+		Mapping:  mapping.Clone(),
+		Hints:    hints.Clone(),
+		State:    st,
+		Report:   report,
+	}
+
+	// Collect the movable objects once.
+	ix := model.NewIndex(p.Current)
+	var procs []*model.Process
+	var msgs []*model.Message
+	for _, g := range p.Current.Graphs {
+		procs = append(procs, g.Procs...)
+		msgs = append(msgs, g.Msgs...)
+	}
+
+	cur := report.Objective
+	temp := o.InitialTemp
+	cooling := math.Pow(o.FinalTemp/o.InitialTemp, 1/float64(o.Iterations))
+
+	for i := 0; i < o.Iterations; i++ {
+		nm, nh := neighbor(rng, p, ix, procs, msgs, mapping, hints)
+		st2, rep2, err := p.evaluate(nm, nh)
+		evals++
+		temp *= cooling
+		if err != nil {
+			continue // infeasible neighbor
+		}
+		delta := rep2.Objective - cur
+		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			mapping, hints, cur = nm, nh, rep2.Objective
+			if rep2.Objective < best.Report.Objective {
+				best.Mapping = nm.Clone()
+				best.Hints = nh.Clone()
+				best.State = st2
+				best.Report = rep2
+			}
+		}
+	}
+
+	best.Elapsed = time.Since(start)
+	best.Evaluations = evals
+	return best, nil
+}
+
+// neighbor produces a random design transformation: remap a process
+// (40%), move a process to a random slack position (40%), or move a
+// message to a random slot occurrence (20%, when there are messages).
+func neighbor(rng *rand.Rand, p *Problem, ix *model.Index,
+	procs []*model.Process, msgs []*model.Message,
+	mapping model.Mapping, hints sched.Hints) (model.Mapping, sched.Hints) {
+
+	kind := rng.Float64()
+	if kind < 0.4 || (kind >= 0.8 && len(msgs) == 0) {
+		// Remap a random process to a random allowed node, clearing its
+		// position hint so the scheduler packs it ASAP on the new node.
+		proc := procs[rng.Intn(len(procs))]
+		nodes := proc.AllowedNodes()
+		nm := mapping.Clone()
+		nm[proc.ID] = nodes[rng.Intn(len(nodes))]
+		return nm, hints.SetProcStart(proc.ID, 0)
+	}
+	if kind < 0.8 {
+		// Move a random process to a random start offset in its period.
+		proc := procs[rng.Intn(len(procs))]
+		g := ix.GraphOf[proc.ID]
+		wcet := proc.WCET[mapping[proc.ID]]
+		span := g.Period - wcet
+		if span <= 0 {
+			return mapping, hints
+		}
+		off := tm.Time(rng.Int63n(int64(span)))
+		return mapping, hints.SetProcStart(proc.ID, off)
+	}
+	// Move a random message to a random slot-start offset in its period.
+	m := msgs[rng.Intn(len(msgs))]
+	g := ix.MsgGraph[m.ID]
+	off := tm.Time(rng.Int63n(int64(g.Period)))
+	return mapping, hints.SetMsgStart(m.ID, off)
+}

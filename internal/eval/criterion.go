@@ -1,0 +1,136 @@
+package eval
+
+import (
+	"fmt"
+
+	"incdes/internal/core"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/sched"
+	"incdes/internal/textplot"
+)
+
+// CriterionRow aggregates one objective variant of the criterion
+// ablation: MH guided by both criteria, by criterion 1 only, or by
+// criterion 2 only, all judged by the same future-fit test.
+type CriterionRow struct {
+	Variant string
+	// Fit is the percentage of sampled future applications that still
+	// map onto the resulting design.
+	Fit float64
+	// FullObjective scores the design under the complete objective
+	// (regardless of which objective guided the search).
+	FullObjective float64
+}
+
+// CriterionResult is the outcome of RunCriterionAblation.
+type CriterionResult struct {
+	Size  int
+	Cases int
+	Rows  []CriterionRow
+}
+
+// RunCriterionAblation quantifies what each of the paper's two design
+// criteria contributes: the mapping heuristic runs with the full
+// objective, with only the slack-clustering terms (C1), and with only the
+// periodic-slack terms (C2); every variant's design is then judged by the
+// full objective and by concrete future applications. The first entry of
+// Options.Sizes selects the sweep point.
+func RunCriterionAblation(o Options) (*CriterionResult, error) {
+	o = o.withDefaults()
+	size := o.Sizes[0]
+	res := &CriterionResult{Size: size, Cases: o.Cases}
+
+	type variant struct {
+		name    string
+		weights func(full metrics.Weights) metrics.Weights
+	}
+	variants := []variant{
+		{"C1+C2 (paper)", func(w metrics.Weights) metrics.Weights { return w }},
+		{"C1 only", func(w metrics.Weights) metrics.Weights {
+			w.W2P, w.W2m = 0, 0
+			return w
+		}},
+		{"C2 only", func(w metrics.Weights) metrics.Weights {
+			w.W1P, w.W1m = 0, 0
+			return w
+		}},
+	}
+
+	type caseOut struct {
+		fit   []int // per variant
+		tried int
+		obj   []float64
+	}
+	outs := make([]caseOut, o.Cases)
+	err := o.forEachCase(func(c int) error {
+		outs[c].fit = make([]int, len(variants))
+		outs[c].obj = make([]float64, len(variants))
+		tc, err := gen.MakeTestCase(o.Config, o.caseSeed(size, c), o.Existing, size)
+		if err != nil {
+			return fmt.Errorf("eval: generating size %d case %d: %w", size, c, err)
+		}
+		full := metrics.DefaultWeights(tc.Profile)
+		sols := make([]*core.Solution, len(variants))
+		for i, v := range variants {
+			p, err := core.NewProblem(tc.Sys, tc.Base, tc.Current, tc.Profile, v.weights(full))
+			if err != nil {
+				return err
+			}
+			sol, err := core.MappingHeuristic(p, o.MHOptions)
+			if err != nil {
+				return fmt.Errorf("eval: %s on case %d: %w", v.name, c, err)
+			}
+			sols[i] = sol
+			// Judge by the full objective whatever guided the search.
+			outs[c].obj[i] = metrics.Evaluate(sol.State, tc.Profile, full).Objective
+		}
+		futGen := gen.New(o.Config, o.caseSeed(size, c)+377)
+		futGen.StartIDsAt(1 << 20)
+		for s := 0; s < o.FutureSamples; s++ {
+			fut := futGen.FutureApp(fmt.Sprintf("future%d", s), tc.Profile, o.FutureProcs)
+			outs[c].tried++
+			for i, sol := range sols {
+				st := sol.State.Clone()
+				if _, err := st.MapApp(fut, sched.Hints{}); err == nil {
+					outs[c].fit[i]++
+				}
+			}
+		}
+		o.logf("size %d case %d: criterion ablation done", size, c)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, v := range variants {
+		row := CriterionRow{Variant: v.name}
+		var fit, tried int
+		for _, out := range outs {
+			fit += out.fit[i]
+			tried += out.tried
+			row.FullObjective += out.obj[i]
+		}
+		if tried > 0 {
+			row.Fit = 100 * float64(fit) / float64(tried)
+		}
+		row.FullObjective /= float64(o.Cases)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Table renders the criterion ablation.
+func (r *CriterionResult) Table() string {
+	xs := make([]string, len(r.Rows))
+	fit := textplot.Series{Name: "future fit %"}
+	obj := textplot.Series{Name: "full C"}
+	for i, row := range r.Rows {
+		xs[i] = row.Variant
+		fit.Values = append(fit.Values, row.Fit)
+		obj.Values = append(obj.Values, row.FullObjective)
+	}
+	return fmt.Sprintf("criterion ablation at current size %d (%d cases)\n%s",
+		r.Size, r.Cases, textplot.Table("objective", xs, []textplot.Series{fit, obj}, "%.1f"))
+}

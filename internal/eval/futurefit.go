@@ -1,0 +1,124 @@
+package eval
+
+import (
+	"fmt"
+
+	"incdes/internal/core"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/textplot"
+)
+
+// FitRow aggregates one sweep point of the future-fit experiment.
+type FitRow struct {
+	Size    int
+	Cases   int
+	Samples int // future applications tried per strategy
+	// Percentage of future applications successfully mapped and
+	// scheduled on the residual system.
+	AHFit, MHFit float64
+}
+
+// FutureFitResult is the outcome of RunFutureFit.
+type FutureFitResult struct {
+	Rows []FitRow
+}
+
+// RunFutureFit executes the paper's third experiment: after the current
+// application is placed by AH or by MH, sample concrete future
+// applications (80 processes by default) and test whether the initial
+// mapping algorithm can still place them on what is left of the system.
+func RunFutureFit(o Options) (*FutureFitResult, error) {
+	o = o.withDefaults()
+	res := &FutureFitResult{}
+	for _, size := range o.Sizes {
+		row := FitRow{Size: size, Samples: o.FutureSamples}
+		type caseOut struct{ ahOK, mhOK, tried int }
+		outs := make([]caseOut, o.Cases)
+		size := size
+		err := o.forEachCase(func(c int) error {
+			tc, err := gen.MakeTestCase(o.Config, o.caseSeed(size, c), o.Existing, size)
+			if err != nil {
+				return fmt.Errorf("eval: generating size %d case %d: %w", size, c, err)
+			}
+			p, err := core.NewProblem(tc.Sys, tc.Base, tc.Current, tc.Profile,
+				metrics.DefaultWeights(tc.Profile))
+			if err != nil {
+				return err
+			}
+			ah, err := core.AdHoc(p)
+			if err != nil {
+				return fmt.Errorf("eval: AH on size %d case %d: %w", size, c, err)
+			}
+			mh, err := core.MappingHeuristic(p, o.MHOptions)
+			if err != nil {
+				return fmt.Errorf("eval: MH on size %d case %d: %w", size, c, err)
+			}
+			// Sample future applications from the same generator family,
+			// with IDs displaced away from the test case's own objects.
+			futGen := gen.New(o.Config, o.caseSeed(size, c)+77)
+			futGen.StartIDsAt(1 << 20)
+			for s := 0; s < o.FutureSamples; s++ {
+				fut := futGen.FutureApp(fmt.Sprintf("future%d", s), tc.Profile, o.FutureProcs)
+				if err := fut.Validate(tc.Sys.Arch); err != nil {
+					return fmt.Errorf("eval: sampled future application invalid: %w", err)
+				}
+				outs[c].tried++
+				if fits(ah.State, fut) {
+					outs[c].ahOK++
+				}
+				if fits(mh.State, fut) {
+					outs[c].mhOK++
+				}
+			}
+			o.logf("size %d case %d: future fit AH %d/%d MH %d/%d",
+				size, c, outs[c].ahOK, outs[c].tried, outs[c].mhOK, outs[c].tried)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		var ahOK, mhOK, tried int
+		for _, out := range outs {
+			ahOK += out.ahOK
+			mhOK += out.mhOK
+			tried += out.tried
+		}
+		row.Cases = o.Cases
+		if tried > 0 {
+			row.AHFit = 100 * float64(ahOK) / float64(tried)
+			row.MHFit = 100 * float64(mhOK) / float64(tried)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// fits reports whether the future application can be mapped and scheduled
+// on the residual slack of the solution state (requirement b, tested with
+// a concrete family member): the initial mapping algorithm must find a
+// valid design without touching anything already scheduled.
+func fits(solution *sched.State, fut *model.Application) bool {
+	st := solution.Clone()
+	_, err := st.MapApp(fut, sched.Hints{})
+	return err == nil
+}
+
+// FitChart renders the third figure: percentage of future applications
+// mapped after AH versus MH placed the current application.
+func (r *FutureFitResult) FitChart() string {
+	series := []textplot.Series{{Name: "MH"}, {Name: "AH"}}
+	for _, row := range r.Rows {
+		series[0].Values = append(series[0].Values, row.MHFit)
+		series[1].Values = append(series[1].Values, row.AHFit)
+	}
+	xs := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = fmt.Sprint(row.Size)
+	}
+	return textplot.Chart(
+		"% of future applications mapped (paper Fig: future fit)",
+		"current application processes", xs, series, "%")
+}

@@ -1,0 +1,164 @@
+package export
+
+import (
+	"fmt"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// Check validates a deployable design against the system model it claims
+// to implement — the last line of defense before a design image reaches a
+// flashing tool, and deliberately independent of the scheduler that
+// produced it. It verifies:
+//
+//   - every process occurrence of every application appears exactly once,
+//     on a node its WCET table allows, running for exactly its WCET,
+//     inside its release/deadline window;
+//   - dispatch tables are sorted and non-overlapping;
+//   - every inter-node message occurrence appears in the MEDL, in a slot
+//     owned by the producer's node, after the producer finishes, arriving
+//     before the consumer starts, without overflowing slot capacity;
+//   - co-located message occurrences do not appear in the MEDL, and the
+//     consumer starts after the producer finishes.
+func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
+	var errs []string
+	report := func(format string, args ...interface{}) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+	bus := sys.Arch.Bus
+
+	type key struct {
+		proc model.ProcID
+		occ  int
+	}
+	entryAt := map[key]DispatchEntry{}
+	nodeOf := map[key]model.NodeID{}
+	for _, nt := range d.Nodes {
+		if sys.Arch.Node(nt.Node) == nil {
+			report("dispatch table for unknown node %d", nt.Node)
+			continue
+		}
+		var prev DispatchEntry
+		for i, e := range nt.Entries {
+			if i > 0 && e.Start < prev.End {
+				report("node %d: activation of process %d occ %d at %v overlaps previous ending %v",
+					nt.Node, e.Proc, e.Occ, e.Start, prev.End)
+			}
+			prev = e
+			k := key{e.Proc, e.Occ}
+			if _, dup := entryAt[k]; dup {
+				report("process %d occ %d dispatched more than once", e.Proc, e.Occ)
+				continue
+			}
+			entryAt[k] = e
+			nodeOf[k] = nt.Node
+		}
+	}
+
+	type mkey struct {
+		msg model.MsgID
+		occ int
+	}
+	medlAt := map[mkey]MEDLIndexEntry{}
+	slotLoad := map[[2]int]int{}
+	for _, e := range d.MEDL {
+		k := mkey{e.Msg, e.Occ}
+		if _, dup := medlAt[k]; dup {
+			report("message %d occ %d in the MEDL more than once", e.Msg, e.Occ)
+			continue
+		}
+		if e.Slot < 0 || e.Slot >= bus.NumSlots() {
+			report("message %d occ %d in nonexistent slot %d", e.Msg, e.Occ, e.Slot)
+			continue
+		}
+		medlAt[k] = MEDLIndexEntry{
+			Owner:  bus.SlotOrder[e.Slot],
+			Start:  bus.SlotStart(e.Round, e.Slot),
+			Arrive: bus.SlotEnd(e.Round, e.Slot),
+			Bytes:  e.Bytes,
+		}
+		slotLoad[[2]int{e.Round, e.Slot}] += e.Bytes
+	}
+	for k, load := range slotLoad {
+		if load > bus.SlotBytes[k[1]] {
+			report("slot occurrence (round %d, slot %d) carries %d bytes, capacity %d",
+				k[0], k[1], load, bus.SlotBytes[k[1]])
+		}
+	}
+
+	for _, app := range apps {
+		for _, g := range app.Graphs {
+			occs := int(d.Horizon / g.Period)
+			for occ := 0; occ < occs; occ++ {
+				release := tm.Time(occ) * g.Period
+				deadline := release + g.Deadline
+				for _, p := range g.Procs {
+					k := key{p.ID, occ}
+					e, ok := entryAt[k]
+					if !ok {
+						report("process %d (%s) occ %d missing from every dispatch table", p.ID, p.Name, occ)
+						continue
+					}
+					node := nodeOf[k]
+					w, allowed := p.WCET[node]
+					switch {
+					case !allowed:
+						report("process %d occ %d dispatched on disallowed node %d", p.ID, occ, node)
+					case e.End-e.Start != w:
+						report("process %d occ %d runs %v, WCET on node %d is %v", p.ID, occ, e.End-e.Start, node, w)
+					}
+					if e.Start < release || e.End > deadline {
+						report("process %d occ %d runs [%v,%v) outside [%v,%v]", p.ID, occ, e.Start, e.End, release, deadline)
+					}
+				}
+				for _, m := range g.Msgs {
+					src, okS := entryAt[key{m.Src, occ}]
+					dst, okD := entryAt[key{m.Dst, occ}]
+					if !okS || !okD {
+						continue // already reported as missing
+					}
+					srcNode, dstNode := nodeOf[key{m.Src, occ}], nodeOf[key{m.Dst, occ}]
+					me, onBus := medlAt[mkey{m.ID, occ}]
+					if srcNode == dstNode {
+						if onBus {
+							report("message %d occ %d between co-located processes is in the MEDL", m.ID, occ)
+						}
+						if dst.Start < src.End {
+							report("message %d occ %d: consumer starts %v before producer ends %v",
+								m.ID, occ, dst.Start, src.End)
+						}
+						continue
+					}
+					if !onBus {
+						report("inter-node message %d occ %d missing from the MEDL", m.ID, occ)
+						continue
+					}
+					if me.Owner != srcNode {
+						report("message %d occ %d in a slot owned by node %d, producer on node %d",
+							m.ID, occ, me.Owner, srcNode)
+					}
+					if me.Start < src.End {
+						report("message %d occ %d slot starts %v before producer ends %v", m.ID, occ, me.Start, src.End)
+					}
+					if dst.Start < me.Arrive {
+						report("message %d occ %d consumer starts %v before arrival %v", m.ID, occ, dst.Start, me.Arrive)
+					}
+					if me.Bytes != m.Bytes {
+						report("message %d occ %d carries %d bytes, model says %d", m.ID, occ, me.Bytes, m.Bytes)
+					}
+				}
+			}
+		}
+	}
+	return errs
+}
+
+// MEDLIndexEntry is the resolved timing of one MEDL line, derived from
+// the bus description during Check.
+type MEDLIndexEntry struct {
+	Owner  model.NodeID
+	Start  tm.Time
+	Arrive tm.Time
+	Bytes  int
+}

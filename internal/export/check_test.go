@@ -1,0 +1,90 @@
+package export
+
+import (
+	"testing"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+)
+
+func TestCheckAcceptsBuiltDesign(t *testing.T) {
+	st := exportState(t)
+	d, err := Build(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := Check(d, st.System(), st.System().Apps...); len(errs) != 0 {
+		t.Fatalf("valid design rejected: %v", errs[0])
+	}
+}
+
+func TestCheckDetectsTampering(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(d *Design)
+	}{
+		{"missing process", func(d *Design) {
+			d.Nodes[0].Entries = nil
+		}},
+		{"wrong wcet", func(d *Design) {
+			d.Nodes[0].Entries[0].End++
+		}},
+		{"deadline miss", func(d *Design) {
+			e := &d.Nodes[0].Entries[0]
+			e.Start += 95
+			e.End += 95
+		}},
+		{"missing medl entry", func(d *Design) {
+			d.MEDL = nil
+		}},
+		{"slot ownership", func(d *Design) {
+			d.MEDL[0].Slot = 1
+			// keep round/offset; slot 1 belongs to the receiver
+		}},
+		{"duplicate dispatch", func(d *Design) {
+			d.Nodes[0].Entries = append(d.Nodes[0].Entries, d.Nodes[0].Entries[0])
+		}},
+		{"wrong message size", func(d *Design) {
+			d.MEDL[0].Bytes = 1
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st := exportState(t)
+			d, err := Build(st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.mutate(d)
+			if errs := Check(d, st.System(), st.System().Apps...); len(errs) == 0 {
+				t.Errorf("%s not detected", tc.name)
+			}
+		})
+	}
+}
+
+func TestCheckGeneratedDesigns(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Nodes = 5
+	cfg.GraphMinProcs = 5
+	cfg.GraphMaxProcs = 10
+	for seed := int64(0); seed < 4; seed++ {
+		tc, err := gen.MakeTestCase(cfg, seed, 40, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := tc.Base.Clone()
+		if _, err := st.MapApp(tc.Current, sched.Hints{}); err != nil {
+			t.Fatal(err)
+		}
+		d, err := Build(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		apps := append(append([]*model.Application{}, tc.Existing...), tc.Current)
+		if errs := Check(d, tc.Sys, apps...); len(errs) != 0 {
+			t.Fatalf("seed %d: generated design rejected: %v", seed, errs[0])
+		}
+	}
+}

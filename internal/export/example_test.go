@@ -1,0 +1,51 @@
+package export_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"incdes/internal/export"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// ExampleBuild turns a finished schedule into dispatch tables and a MEDL
+// and prints them in the text form a design review would read.
+func ExampleBuild() {
+	b := model.NewBuilder()
+	n0 := b.Node("N0")
+	n1 := b.Node("N1")
+	b.Bus([]model.NodeID{n0, n1}, []int{8, 8}, 1, 2)
+	g := b.App("demo").Graph("G", 100, 100)
+	p1 := g.Proc("P1", map[model.NodeID]tm.Time{n0: 10})
+	p2 := g.Proc("P2", map[model.NodeID]tm.Time{n1: 15})
+	g.Msg(p1, p2, 4)
+	sys := b.MustSystem()
+
+	st, err := sched.NewState(sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st.ScheduleApp(sys.Apps[0], model.Mapping{p1: n0, p2: n1}, sched.Hints{}); err != nil {
+		log.Fatal(err)
+	}
+	design, err := export.Build(st)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := design.WriteText(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("verification: %d problems\n", len(export.Check(design, sys, sys.Apps...)))
+	// Output:
+	// design over 100tu (TDMA round 20tu)
+	// node N0 dispatch table (1 activations):
+	//        0tu  run process 0     occ 0   (app 0) until 10tu
+	// node N1 dispatch table (1 activations):
+	//       30tu  run process 1     occ 0   (app 0) until 45tu
+	// MEDL (1 entries):
+	//   round    1 slot  0 offset  0B: msg 0     occ 0   4B
+	// verification: 0 problems
+}

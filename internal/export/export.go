@@ -1,0 +1,120 @@
+// Package export turns a finished schedule into the artifacts a
+// time-triggered deployment consumes: one static dispatch table per node
+// (the process activation times a TTP node's kernel executes verbatim)
+// and the bus MEDL. Designs serialize to JSON, human-readable text, and a
+// compact checksummed binary image suitable for flashing tools.
+package export
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+	"incdes/internal/ttp"
+)
+
+// DispatchEntry is one activation in a node's static dispatch table.
+type DispatchEntry struct {
+	Start tm.Time      `json:"start"`
+	End   tm.Time      `json:"end"`
+	Proc  model.ProcID `json:"proc"`
+	Occ   int          `json:"occ"`
+	App   model.AppID  `json:"app"`
+}
+
+// NodeTable is the complete dispatch table of one node over the horizon.
+type NodeTable struct {
+	Node    model.NodeID    `json:"node"`
+	Entries []DispatchEntry `json:"entries"`
+}
+
+// Design is the deployable output of the design process.
+type Design struct {
+	Horizon  tm.Time                       `json:"horizon"`
+	RoundLen tm.Time                       `json:"round_len"`
+	Mapping  map[model.ProcID]model.NodeID `json:"mapping"`
+	Nodes    []NodeTable                   `json:"nodes"`
+	MEDL     []ttp.MEDLEntry               `json:"medl"`
+}
+
+// Build extracts the deployable design from a schedule state.
+func Build(st *sched.State) (*Design, error) {
+	d := &Design{
+		Horizon:  st.Horizon(),
+		RoundLen: st.System().Arch.Bus.RoundLen(),
+		Mapping:  st.Mapping().Clone(),
+	}
+	byNode := map[model.NodeID][]DispatchEntry{}
+	for _, e := range st.ProcEntries() {
+		byNode[e.Node] = append(byNode[e.Node], DispatchEntry{
+			Start: e.Start, End: e.End, Proc: e.Proc, Occ: e.Occ, App: e.App,
+		})
+	}
+	for _, n := range st.System().Arch.NodeIDs() {
+		entries := byNode[n]
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Start < entries[j].Start })
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Start < entries[i-1].End {
+				return nil, fmt.Errorf("export: node %d dispatch table overlaps at %v", n, entries[i].Start)
+			}
+		}
+		d.Nodes = append(d.Nodes, NodeTable{Node: n, Entries: entries})
+	}
+	placements := make([]ttp.Placement, 0, len(st.MsgEntries()))
+	for _, e := range st.MsgEntries() {
+		placements = append(placements, ttp.Placement{
+			Msg: e.Msg, Occ: e.Occ, Round: e.Round, Slot: e.Slot, Bytes: e.Bytes,
+		})
+	}
+	medl, err := ttp.BuildMEDL(st.System().Arch.Bus, placements)
+	if err != nil {
+		return nil, err
+	}
+	d.MEDL = medl
+	return d, nil
+}
+
+// WriteJSON serializes the design as indented JSON.
+func (d *Design) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("export: encode design: %w", err)
+	}
+	return nil
+}
+
+// ReadDesign parses a design from JSON.
+func ReadDesign(r io.Reader) (*Design, error) {
+	var d Design
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("export: decode design: %w", err)
+	}
+	return &d, nil
+}
+
+// WriteText renders the design as aligned human-readable tables.
+func (d *Design) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "design over %v (TDMA round %v)\n", d.Horizon, d.RoundLen); err != nil {
+		return err
+	}
+	for _, nt := range d.Nodes {
+		fmt.Fprintf(w, "node N%d dispatch table (%d activations):\n", nt.Node, len(nt.Entries))
+		for _, e := range nt.Entries {
+			fmt.Fprintf(w, "  %8v  run process %-5d occ %-3d (app %d) until %v\n",
+				e.Start, e.Proc, e.Occ, e.App, e.End)
+		}
+	}
+	fmt.Fprintf(w, "MEDL (%d entries):\n", len(d.MEDL))
+	for _, e := range d.MEDL {
+		fmt.Fprintf(w, "  round %4d slot %2d offset %2dB: msg %-5d occ %-3d %dB\n",
+			e.Round, e.Slot, e.Offset, e.Msg, e.Occ, e.Bytes)
+	}
+	return nil
+}

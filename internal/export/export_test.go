@@ -1,0 +1,192 @@
+package export
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+func exportState(t *testing.T) *sched.State {
+	t.Helper()
+	b := model.NewBuilder()
+	n0 := b.Node("N0")
+	n1 := b.Node("N1")
+	b.Bus([]model.NodeID{n0, n1}, []int{8, 8}, 1, 2)
+	g := b.App("a").Graph("G", 100, 100)
+	p1 := g.Proc("P1", map[model.NodeID]tm.Time{n0: 10})
+	p2 := g.Proc("P2", map[model.NodeID]tm.Time{n1: 15})
+	g.Msg(p1, p2, 4)
+	sys, err := b.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sched.NewState(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ScheduleApp(sys.Apps[0], model.Mapping{p1: n0, p2: n1}, sched.Hints{}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestBuildDesign(t *testing.T) {
+	d, err := Build(exportState(t))
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if d.Horizon != 100 || d.RoundLen != 20 {
+		t.Errorf("header = %v/%v", d.Horizon, d.RoundLen)
+	}
+	if len(d.Nodes) != 2 {
+		t.Fatalf("%d node tables", len(d.Nodes))
+	}
+	if len(d.Nodes[0].Entries) != 1 || d.Nodes[0].Entries[0].Proc != 0 {
+		t.Errorf("node 0 table = %+v", d.Nodes[0])
+	}
+	if len(d.MEDL) != 1 || d.MEDL[0].Msg != 0 {
+		t.Errorf("MEDL = %+v", d.MEDL)
+	}
+	if d.Mapping[0] != 0 || d.Mapping[1] != 1 {
+		t.Errorf("mapping = %v", d.Mapping)
+	}
+}
+
+func TestDesignJSONRoundTrip(t *testing.T) {
+	d, err := Build(exportState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDesign(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, d) {
+		t.Error("JSON round trip changed the design")
+	}
+}
+
+func TestDesignText(t *testing.T) {
+	d, err := Build(exportState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dispatch table", "MEDL", "node N0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text export missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDesignBinaryRoundTrip(t *testing.T) {
+	d, err := Build(exportState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatalf("DecodeBinary: %v", err)
+	}
+	if got.Horizon != d.Horizon || got.RoundLen != d.RoundLen {
+		t.Errorf("header changed: %v/%v", got.Horizon, got.RoundLen)
+	}
+	if len(got.Nodes) != len(d.Nodes) {
+		t.Fatalf("node tables: %d vs %d", len(got.Nodes), len(d.Nodes))
+	}
+	for i := range d.Nodes {
+		if !reflect.DeepEqual(got.Nodes[i], d.Nodes[i]) {
+			t.Errorf("node table %d changed", i)
+		}
+	}
+	if len(got.MEDL) != len(d.MEDL) {
+		t.Fatalf("MEDL length changed")
+	}
+	for i := range d.MEDL {
+		g, w := got.MEDL[i], d.MEDL[i]
+		if g.Round != w.Round || g.Slot != w.Slot || g.Offset != w.Offset ||
+			g.Msg != w.Msg || g.Occ != w.Occ || g.Bytes != w.Bytes {
+			t.Errorf("MEDL entry %d changed: %+v vs %+v", i, g, w)
+		}
+	}
+	if !reflect.DeepEqual(got.Mapping, d.Mapping) {
+		t.Errorf("mapping not reconstructed: %v vs %v", got.Mapping, d.Mapping)
+	}
+}
+
+func TestBinaryDetectsCorruption(t *testing.T) {
+	d, err := Build(exportState(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img := buf.Bytes()
+
+	// Flip a payload byte: checksum must catch it.
+	bad := append([]byte(nil), img...)
+	bad[20] ^= 0xFF
+	if _, err := DecodeBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("corrupted image decoded")
+	}
+	// Truncate: must fail cleanly.
+	if _, err := DecodeBinary(bytes.NewReader(img[:len(img)-6])); err == nil {
+		t.Error("truncated image decoded")
+	}
+	// Wrong magic.
+	bad = append([]byte(nil), img...)
+	bad[0] = 'X'
+	if _, err := DecodeBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("wrong magic accepted")
+	}
+}
+
+func TestBuildOnGeneratedCase(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Nodes = 4
+	cfg.GraphMinProcs = 5
+	cfg.GraphMaxProcs = 8
+	tc, err := gen.MakeTestCase(cfg, 17, 40, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Build(tc.Base)
+	if err != nil {
+		t.Fatalf("Build on generated schedule: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := d.EncodeBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBinary(&buf); err != nil {
+		t.Fatalf("round trip on generated design: %v", err)
+	}
+	// Every scheduled activation appears in exactly one dispatch table.
+	total := 0
+	for _, nt := range d.Nodes {
+		total += len(nt.Entries)
+	}
+	if total != len(tc.Base.ProcEntries()) {
+		t.Errorf("%d dispatch entries for %d schedule entries", total, len(tc.Base.ProcEntries()))
+	}
+}

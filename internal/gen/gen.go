@@ -1,0 +1,274 @@
+// Package gen produces the synthetic workloads of the paper's evaluation:
+// random layered process graphs with heterogeneous WCETs, applications
+// assembled from them, TTP architectures, and complete incremental-design
+// test cases (an existing workload of ~400 processes already mapped and
+// scheduled, a current application to place, and a future-application
+// profile).
+//
+// All generation is driven by an explicit seed; the same seed always
+// produces the same test case.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// Config controls the generator. Default() mirrors the paper's setup.
+type Config struct {
+	// Architecture.
+	Nodes        int
+	SlotBytes    int
+	ByteTime     tm.Time
+	SlotOverhead tm.Time
+
+	// Graph structure.
+	GraphMinProcs int     // smallest graph size
+	GraphMaxProcs int     // largest graph size
+	ExtraEdgeProb float64 // chance of a second predecessor per process
+
+	// Process parameters (the slide-10 histograms span these ranges).
+	WCETMin, WCETMax tm.Time
+	MsgMin, MsgMax   int
+	AllowedFrac      float64 // fraction of nodes a process may map to
+	HeteroSpread     float64 // WCET varies by +-spread across nodes
+
+	// Timing.
+	TargetUtil   float64 // desired processor utilization of the workload
+	PeriodLevels []int   // graph periods are level * base period
+
+	// Future application profile.
+	FutureUtil    float64 // TNeed as a fraction of N * Tmin
+	FutureBusFrac float64 // BNeedBytes as a fraction of bus bytes per Tmin
+	FutureTminDen int     // Tmin = base period / FutureTminDen
+
+	// ScatterExisting spreads the processes of existing applications over
+	// their periods (they were placed by earlier design increments that
+	// also protected periodic slack). When false, existing applications
+	// are packed ASAP — an adversarial history used in ablations.
+	// Ignored when History selects an explicit mode.
+	ScatterExisting bool
+
+	// History selects how the existing applications were placed:
+	//
+	//	HistoryMH      — each existing application was once the "current"
+	//	                 application of an earlier increment and was
+	//	                 placed by the mapping heuristic (the default:
+	//	                 this is exactly the incremental design process
+	//	                 the paper advocates);
+	//	HistoryScatter — start offsets drawn at random, a cheap stand-in
+	//	                 for a slack-conscious history;
+	//	HistoryASAP    — everything packed as early as possible, the
+	//	                 adversarial history (ablations).
+	History HistoryMode
+}
+
+// HistoryMode enumerates how a test case's existing applications were
+// placed; see Config.History.
+type HistoryMode string
+
+const (
+	HistoryDefault HistoryMode = "" // resolves to HistoryMH
+	HistoryMH      HistoryMode = "mh"
+	HistoryScatter HistoryMode = "scatter"
+	HistoryASAP    HistoryMode = "asap"
+)
+
+// Default returns the configuration used throughout the experiments:
+// 10 nodes as in the paper's evaluation, WCETs in [20,150], messages of
+// 2-8 bytes, graphs of 10-30 processes.
+func Default() Config {
+	return Config{
+		Nodes:           10,
+		SlotBytes:       32,
+		ByteTime:        1,
+		SlotOverhead:    8,
+		GraphMinProcs:   10,
+		GraphMaxProcs:   30,
+		ExtraEdgeProb:   0.25,
+		WCETMin:         20,
+		WCETMax:         150,
+		MsgMin:          2,
+		MsgMax:          8,
+		AllowedFrac:     0.6,
+		HeteroSpread:    0.5,
+		TargetUtil:      0.65,
+		PeriodLevels:    []int{1, 2},
+		FutureUtil:      0.30,
+		FutureBusFrac:   0.15,
+		FutureTminDen:   4,
+		ScatterExisting: true,
+	}
+}
+
+// Generator creates model objects with globally unique IDs.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	arch *model.Architecture
+
+	nextApp   model.AppID
+	nextGraph model.GraphID
+	nextProc  model.ProcID
+	nextMsg   model.MsgID
+}
+
+// New returns a generator for the given configuration and seed. The
+// architecture is fixed at construction: cfg.Nodes nodes, one uniform
+// TDMA slot per node in node order.
+func New(cfg Config, seed int64) *Generator {
+	arch := &model.Architecture{Bus: &model.Bus{
+		ByteTime:     cfg.ByteTime,
+		SlotOverhead: cfg.SlotOverhead,
+	}}
+	for i := 0; i < cfg.Nodes; i++ {
+		id := model.NodeID(i)
+		arch.Nodes = append(arch.Nodes, &model.Node{ID: id, Name: fmt.Sprintf("N%d", i)})
+		arch.Bus.SlotOrder = append(arch.Bus.SlotOrder, id)
+		arch.Bus.SlotBytes = append(arch.Bus.SlotBytes, cfg.SlotBytes)
+	}
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), arch: arch}
+}
+
+// Architecture returns the generator's platform.
+func (g *Generator) Architecture() *model.Architecture { return g.arch }
+
+// StartIDsAt moves the generator's ID counters to base so that generated
+// objects cannot collide with an existing system's IDs. Use it on any
+// generator whose output will be scheduled next to objects from another
+// generator (e.g. sampling future applications for a test case).
+func (g *Generator) StartIDsAt(base int) {
+	g.nextApp = model.AppID(base)
+	g.nextGraph = model.GraphID(base)
+	g.nextProc = model.ProcID(base)
+	g.nextMsg = model.MsgID(base)
+}
+
+// wcetTable draws a heterogeneous WCET table: a base execution time in
+// [WCETMin, WCETMax], varied per allowed node by +-HeteroSpread.
+func (g *Generator) wcetTable() map[model.NodeID]tm.Time {
+	arch := g.arch
+	base := g.cfg.WCETMin + tm.Time(g.rng.Int63n(int64(g.cfg.WCETMax-g.cfg.WCETMin+1)))
+	nAllowed := int(math.Ceil(g.cfg.AllowedFrac * float64(len(arch.Nodes))))
+	if nAllowed < 1 {
+		nAllowed = 1
+	}
+	perm := g.rng.Perm(len(arch.Nodes))[:nAllowed]
+	table := make(map[model.NodeID]tm.Time, nAllowed)
+	for _, idx := range perm {
+		f := 1 + g.cfg.HeteroSpread*(2*g.rng.Float64()-1)
+		w := tm.Time(math.Round(float64(base) * f))
+		if w < 1 {
+			w = 1
+		}
+		table[arch.Nodes[idx].ID] = w
+	}
+	return table
+}
+
+// graph generates one layered DAG with nProcs processes. Periods and
+// deadlines are filled in later (they depend on the whole workload).
+func (g *Generator) graph(name string, nProcs int) *model.Graph {
+	gr := &model.Graph{ID: g.nextGraph, Name: name}
+	g.nextGraph++
+
+	// Spread processes over ~sqrt(n) layers so graphs are neither chains
+	// nor bags of independent tasks.
+	nLayers := int(math.Max(2, math.Round(math.Sqrt(float64(nProcs)))))
+	if nProcs == 1 {
+		nLayers = 1
+	}
+	layerOf := make([]int, nProcs)
+	for i := range layerOf {
+		if i < nLayers {
+			layerOf[i] = i // guarantee every layer is populated
+		} else {
+			layerOf[i] = g.rng.Intn(nLayers)
+		}
+	}
+	procs := make([]*model.Process, nProcs)
+	for i := 0; i < nProcs; i++ {
+		procs[i] = &model.Process{
+			ID:   g.nextProc,
+			Name: fmt.Sprintf("%s.P%d", name, i),
+			WCET: g.wcetTable(),
+		}
+		g.nextProc++
+	}
+	gr.Procs = procs
+
+	// Every process beyond layer 0 receives at least one message from a
+	// random process of the previous layer, plus extra edges with
+	// ExtraEdgeProb from any earlier layer.
+	byLayer := make([][]int, nLayers)
+	for i, l := range layerOf {
+		byLayer[l] = append(byLayer[l], i)
+	}
+	msgSize := func() int {
+		return g.cfg.MsgMin + g.rng.Intn(g.cfg.MsgMax-g.cfg.MsgMin+1)
+	}
+	addMsg := func(src, dst int) {
+		gr.Msgs = append(gr.Msgs, &model.Message{
+			ID:    g.nextMsg,
+			Name:  fmt.Sprintf("m%d", g.nextMsg),
+			Src:   procs[src].ID,
+			Dst:   procs[dst].ID,
+			Bytes: msgSize(),
+		})
+		g.nextMsg++
+	}
+	for l := 1; l < nLayers; l++ {
+		for _, dst := range byLayer[l] {
+			prev := byLayer[l-1]
+			addMsg(prev[g.rng.Intn(len(prev))], dst)
+			if g.rng.Float64() < g.cfg.ExtraEdgeProb {
+				// Second predecessor from any earlier layer.
+				el := g.rng.Intn(l)
+				cands := byLayer[el]
+				src := cands[g.rng.Intn(len(cands))]
+				if !hasEdge(gr, procs[src].ID, procs[dst].ID) {
+					addMsg(src, dst)
+				}
+			}
+		}
+	}
+	return gr
+}
+
+func hasEdge(gr *model.Graph, src, dst model.ProcID) bool {
+	for _, m := range gr.Msgs {
+		if m.Src == src && m.Dst == dst {
+			return true
+		}
+	}
+	return false
+}
+
+// Application generates an application of approximately nProcs processes,
+// split into graphs of GraphMinProcs..GraphMaxProcs. Each graph gets a
+// period level drawn from PeriodLevels; absolute periods are assigned by
+// AssignPeriods once the whole workload exists.
+func (g *Generator) Application(name string, nProcs int) (*model.Application, []int) {
+	app := &model.Application{ID: g.nextApp, Name: name}
+	g.nextApp++
+	var levels []int
+	remaining := nProcs
+	for i := 0; remaining > 0; i++ {
+		n := g.cfg.GraphMinProcs
+		if g.cfg.GraphMaxProcs > g.cfg.GraphMinProcs {
+			n += g.rng.Intn(g.cfg.GraphMaxProcs - g.cfg.GraphMinProcs + 1)
+		}
+		if n > remaining {
+			n = remaining
+		}
+		gr := g.graph(fmt.Sprintf("%s.G%d", name, i), n)
+		app.Graphs = append(app.Graphs, gr)
+		levels = append(levels, g.cfg.PeriodLevels[g.rng.Intn(len(g.cfg.PeriodLevels))])
+		remaining -= n
+	}
+	return app, levels
+}

@@ -1,0 +1,37 @@
+package metrics
+
+import (
+	"testing"
+
+	"incdes/internal/future"
+	"incdes/internal/tm"
+)
+
+// TestPeriodicFillMonotone checks the basic property directly on two
+// hand-built window distributions with equal totals.
+func TestPeriodicFillMonotone(t *testing.T) {
+	prof := &future.Profile{
+		Tmin: 50, TNeed: 100, BNeedBytes: 0,
+		WCET:     []future.Bin{{Size: 10, Prob: 1}},
+		MsgBytes: []future.Bin{{Size: 2, Prob: 1}},
+	}
+	// Bunched: window 0 free [0,50) = 50, window 1 busy (slack 0).
+	bunched := pinnedState(t, []tm.Time{50, 60, 70, 80, 90})
+	// Even: both windows half busy.
+	even := pinnedState(t, []tm.Time{0, 10, 20, 50, 60, 70})
+	rb := Evaluate(bunched, prof, Weights{})
+	re := Evaluate(even, prof, Weights{})
+	// Totals: bunched 50 free, even 40 free — to keep it fair compare
+	// fill per free unit... simpler: sqrt(50)+sqrt(0) < sqrt(20)+sqrt(20)
+	// even though bunched has more total slack.
+	if re.PeriodicFill <= rb.PeriodicFill {
+		t.Errorf("even spread fill %.2f not above bunched fill %.2f",
+			re.PeriodicFill, rb.PeriodicFill)
+	}
+	if rb.C2P != 0 {
+		t.Errorf("bunched C2P = %v, want 0", rb.C2P)
+	}
+	if re.C2P != 20 {
+		t.Errorf("even C2P = %v, want 20 (min of two 20-slack windows)", re.C2P)
+	}
+}

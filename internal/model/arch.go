@@ -1,0 +1,154 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"incdes/internal/tm"
+)
+
+// Node is a processing element: CPU, memory and a communication controller
+// attached to the TDMA bus. Heterogeneity is expressed through per-process
+// WCET tables, not through a node attribute, exactly as in the paper's
+// model (a process has a WCET for each node it may run on).
+type Node struct {
+	ID   NodeID `json:"id"`
+	Name string `json:"name,omitempty"`
+}
+
+// Bus models the TTP time-division multiple-access bus. Time is divided
+// into slots; slot i belongs to node SlotOrder[i] and can carry a frame of
+// up to SlotBytes[i] bytes. A TDMA round is the sequence of all slots; the
+// round repeats forever. A node may only transmit during its own slots.
+//
+// Transmitting one byte takes ByteTime; each slot additionally reserves
+// SlotOverhead time units (frame header, CRC, inter-frame gap). The slot
+// duration is therefore fixed regardless of how many bytes the frame
+// actually uses — this is the TTP discipline: the MEDL is static.
+type Bus struct {
+	SlotOrder    []NodeID `json:"slot_order"`
+	SlotBytes    []int    `json:"slot_bytes"`
+	ByteTime     tm.Time  `json:"byte_time"`
+	SlotOverhead tm.Time  `json:"slot_overhead"`
+}
+
+// NumSlots returns the number of slots per TDMA round.
+func (b *Bus) NumSlots() int { return len(b.SlotOrder) }
+
+// SlotDur returns the fixed duration of slot i.
+func (b *Bus) SlotDur(i int) tm.Time {
+	return b.SlotOverhead + tm.Time(b.SlotBytes[i])*b.ByteTime
+}
+
+// RoundLen returns the duration of a full TDMA round.
+func (b *Bus) RoundLen() tm.Time {
+	var l tm.Time
+	for i := range b.SlotOrder {
+		l += b.SlotDur(i)
+	}
+	return l
+}
+
+// SlotStart returns the absolute start time of slot occurrence
+// (round, slot).
+func (b *Bus) SlotStart(round, slot int) tm.Time {
+	t := tm.Time(round) * b.RoundLen()
+	for i := 0; i < slot; i++ {
+		t += b.SlotDur(i)
+	}
+	return t
+}
+
+// SlotEnd returns the absolute end time of slot occurrence (round, slot).
+// A message carried in this occurrence is available at all receivers at
+// SlotEnd (the TTP controller delivers the frame at the end of the slot).
+func (b *Bus) SlotEnd(round, slot int) tm.Time {
+	return b.SlotStart(round, slot) + b.SlotDur(slot)
+}
+
+// SlotsOf returns the indices of the slots owned by node n, ascending.
+// In a standard TTP round each node owns exactly one slot, but the model
+// permits several.
+func (b *Bus) SlotsOf(n NodeID) []int {
+	var out []int
+	for i, owner := range b.SlotOrder {
+		if owner == n {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Architecture is the hardware platform: the nodes and the bus that
+// connects them.
+type Architecture struct {
+	Nodes []*Node `json:"nodes"`
+	Bus   *Bus    `json:"bus"`
+}
+
+// Node returns the node with the given ID, or nil.
+func (a *Architecture) Node(id NodeID) *Node {
+	for _, n := range a.Nodes {
+		if n.ID == id {
+			return n
+		}
+	}
+	return nil
+}
+
+// NodeIDs returns all node IDs in ascending order.
+func (a *Architecture) NodeIDs() []NodeID {
+	ids := make([]NodeID, len(a.Nodes))
+	for i, n := range a.Nodes {
+		ids[i] = n.ID
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// Validate checks the architecture for internal consistency.
+func (a *Architecture) Validate() error {
+	if len(a.Nodes) == 0 {
+		return fmt.Errorf("model: architecture has no nodes")
+	}
+	seen := map[NodeID]bool{}
+	for _, n := range a.Nodes {
+		if seen[n.ID] {
+			return fmt.Errorf("model: duplicate node id %d", n.ID)
+		}
+		seen[n.ID] = true
+	}
+	b := a.Bus
+	if b == nil {
+		return fmt.Errorf("model: architecture has no bus")
+	}
+	if len(b.SlotOrder) == 0 {
+		return fmt.Errorf("model: bus has no slots")
+	}
+	if len(b.SlotBytes) != len(b.SlotOrder) {
+		return fmt.Errorf("model: bus has %d slot owners but %d slot capacities",
+			len(b.SlotOrder), len(b.SlotBytes))
+	}
+	if b.ByteTime <= 0 {
+		return fmt.Errorf("model: bus byte time must be positive, got %v", b.ByteTime)
+	}
+	if b.SlotOverhead < 0 {
+		return fmt.Errorf("model: bus slot overhead must be non-negative, got %v", b.SlotOverhead)
+	}
+	owned := map[NodeID]bool{}
+	for i, owner := range b.SlotOrder {
+		if !seen[owner] {
+			return fmt.Errorf("model: slot %d owned by unknown node %d", i, owner)
+		}
+		if b.SlotBytes[i] <= 0 {
+			return fmt.Errorf("model: slot %d has non-positive capacity %d", i, b.SlotBytes[i])
+		}
+		owned[owner] = true
+	}
+	for _, n := range a.Nodes {
+		if !owned[n.ID] {
+			return fmt.Errorf("model: node %d owns no TDMA slot and cannot send messages", n.ID)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package model
+
+import (
+	"fmt"
+
+	"incdes/internal/tm"
+)
+
+// Builder assembles systems by hand with automatically assigned unique IDs.
+// It is the convenient front door for examples and tests; generated and
+// deserialized systems bypass it.
+type Builder struct {
+	arch Architecture
+	apps []*Application
+
+	nextNode  NodeID
+	nextApp   AppID
+	nextGraph GraphID
+	nextProc  ProcID
+	nextMsg   MsgID
+}
+
+// NewBuilder returns an empty system builder.
+func NewBuilder() *Builder {
+	return &Builder{arch: Architecture{Bus: &Bus{}}}
+}
+
+// Node adds a processing node and returns its ID.
+func (b *Builder) Node(name string) NodeID {
+	id := b.nextNode
+	b.nextNode++
+	b.arch.Nodes = append(b.arch.Nodes, &Node{ID: id, Name: name})
+	return id
+}
+
+// Bus configures the TDMA bus: slot ownership order, per-slot capacities
+// in bytes, time per byte, and per-slot overhead.
+func (b *Builder) Bus(order []NodeID, bytes []int, byteTime, overhead tm.Time) {
+	b.arch.Bus = &Bus{
+		SlotOrder:    order,
+		SlotBytes:    bytes,
+		ByteTime:     byteTime,
+		SlotOverhead: overhead,
+	}
+}
+
+// UniformBus configures one slot per node, in node order, all with the
+// same capacity.
+func (b *Builder) UniformBus(slotBytes int, byteTime, overhead tm.Time) {
+	order := make([]NodeID, len(b.arch.Nodes))
+	caps := make([]int, len(b.arch.Nodes))
+	for i, n := range b.arch.Nodes {
+		order[i] = n.ID
+		caps[i] = slotBytes
+	}
+	b.Bus(order, caps, byteTime, overhead)
+}
+
+// App starts a new application.
+func (b *Builder) App(name string) *AppBuilder {
+	id := b.nextApp
+	b.nextApp++
+	app := &Application{ID: id, Name: name}
+	b.apps = append(b.apps, app)
+	return &AppBuilder{b: b, app: app}
+}
+
+// System validates and returns the assembled system.
+func (b *Builder) System() (*System, error) {
+	s := &System{Arch: &b.arch, Apps: b.apps}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustSystem is System for tests and examples where the input is static.
+func (b *Builder) MustSystem() *System {
+	s, err := b.System()
+	if err != nil {
+		panic(fmt.Sprintf("model.Builder: %v", err))
+	}
+	return s
+}
+
+// AppBuilder adds graphs to one application.
+type AppBuilder struct {
+	b   *Builder
+	app *Application
+}
+
+// Application returns the application built so far.
+func (ab *AppBuilder) Application() *Application { return ab.app }
+
+// Graph starts a new process graph with the given period and deadline.
+func (ab *AppBuilder) Graph(name string, period, deadline tm.Time) *GraphBuilder {
+	id := ab.b.nextGraph
+	ab.b.nextGraph++
+	g := &Graph{ID: id, Name: name, Period: period, Deadline: deadline}
+	ab.app.Graphs = append(ab.app.Graphs, g)
+	return &GraphBuilder{b: ab.b, g: g}
+}
+
+// GraphBuilder adds processes and messages to one graph.
+type GraphBuilder struct {
+	b *Builder
+	g *Graph
+}
+
+// Graph returns the graph built so far.
+func (gb *GraphBuilder) Graph() *Graph { return gb.g }
+
+// Proc adds a process with an explicit per-node WCET table.
+func (gb *GraphBuilder) Proc(name string, wcet map[NodeID]tm.Time) ProcID {
+	id := gb.b.nextProc
+	gb.b.nextProc++
+	gb.g.Procs = append(gb.g.Procs, &Process{ID: id, Name: name, WCET: wcet})
+	gb.g.succs = nil // invalidate adjacency cache
+	return id
+}
+
+// UniformProc adds a process that can run on every node of the
+// architecture with the same WCET.
+func (gb *GraphBuilder) UniformProc(name string, wcet tm.Time) ProcID {
+	table := make(map[NodeID]tm.Time, len(gb.b.arch.Nodes))
+	for _, n := range gb.b.arch.Nodes {
+		table[n.ID] = wcet
+	}
+	return gb.Proc(name, table)
+}
+
+// Msg adds a message of the given size between two processes of this graph.
+func (gb *GraphBuilder) Msg(src, dst ProcID, bytes int) MsgID {
+	id := gb.b.nextMsg
+	gb.b.nextMsg++
+	gb.g.Msgs = append(gb.g.Msgs, &Message{
+		ID: id, Name: fmt.Sprintf("m%d", id), Src: src, Dst: dst, Bytes: bytes,
+	})
+	gb.g.succs = nil // invalidate adjacency cache
+	return id
+}

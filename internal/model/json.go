@@ -1,0 +1,53 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSON serializes the system as indented JSON.
+func (s *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("model: encode system: %w", err)
+	}
+	return nil
+}
+
+// ReadSystem parses a system from JSON and validates it.
+func ReadSystem(r io.Reader) (*System, error) {
+	var s System
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decode system: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// WriteJSON serializes a single application as indented JSON.
+func (a *Application) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("model: encode application: %w", err)
+	}
+	return nil
+}
+
+// ReadApplication parses an application from JSON. Validation against an
+// architecture is the caller's responsibility (the file stands alone).
+func ReadApplication(r io.Reader) (*Application, error) {
+	var a Application
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&a); err != nil {
+		return nil, fmt.Errorf("model: decode application: %w", err)
+	}
+	return &a, nil
+}

@@ -1,0 +1,57 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	sys, _ := twoNodeSystem(t)
+	var buf bytes.Buffer
+	if err := sys.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadSystem(&buf)
+	if err != nil {
+		t.Fatalf("ReadSystem: %v", err)
+	}
+	if len(got.Apps) != 1 || got.Apps[0].NumProcs() != 4 {
+		t.Errorf("round trip lost data: %d apps", len(got.Apps))
+	}
+	if got.Arch.Bus.RoundLen() != sys.Arch.Bus.RoundLen() {
+		t.Errorf("bus round length changed: %v != %v",
+			got.Arch.Bus.RoundLen(), sys.Arch.Bus.RoundLen())
+	}
+	if got.Apps[0].Graphs[0].Procs[0].WCET[0] != 20 {
+		t.Error("WCET table lost in round trip")
+	}
+}
+
+func TestReadSystemRejectsInvalid(t *testing.T) {
+	if _, err := ReadSystem(strings.NewReader(`{"arch": null, "apps": []}`)); err == nil {
+		t.Error("nil architecture accepted")
+	}
+	if _, err := ReadSystem(strings.NewReader(`{bad json`)); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ReadSystem(strings.NewReader(`{"unknown_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestApplicationJSONRoundTrip(t *testing.T) {
+	sys, _ := twoNodeSystem(t)
+	app := sys.Apps[0]
+	var buf bytes.Buffer
+	if err := app.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	got, err := ReadApplication(&buf)
+	if err != nil {
+		t.Fatalf("ReadApplication: %v", err)
+	}
+	if got.NumProcs() != app.NumProcs() || got.NumMsgs() != app.NumMsgs() {
+		t.Error("application round trip lost objects")
+	}
+}

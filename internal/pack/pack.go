@@ -1,0 +1,109 @@
+// Package pack provides the bin-packing routines behind the paper's first
+// design criterion: the processes (or messages) of the largest expected
+// future application are the objects, and the slack intervals (or free
+// slot capacities) of a design alternative are the containers. The paper
+// prescribes the best-fit policy.
+//
+// Sizes are plain int64 so the same packer serves time units (process
+// slack) and bytes (bus slack).
+package pack
+
+import "sort"
+
+// Result reports how a packing attempt went.
+type Result struct {
+	PackedTotal   int64
+	UnpackedTotal int64
+	PackedCount   int
+	UnpackedCount int
+	// Assignment[i] is the bin index item i was placed into, or -1.
+	Assignment []int
+}
+
+// UnpackedFraction returns the fraction (0..1) of total item size that
+// could not be packed. An empty item set packs trivially (fraction 0).
+func (r Result) UnpackedFraction() float64 {
+	total := r.PackedTotal + r.UnpackedTotal
+	if total == 0 {
+		return 0
+	}
+	return float64(r.UnpackedTotal) / float64(total)
+}
+
+// BestFit packs items (in the given order) into bins using the best-fit
+// policy: each item goes into the bin with the smallest remaining capacity
+// that still fits it. Items that fit nowhere are left unpacked. The bins
+// slice is not modified.
+func BestFit(items, bins []int64) Result {
+	remaining := append([]int64(nil), bins...)
+	res := Result{Assignment: make([]int, len(items))}
+	for i, size := range items {
+		best := -1
+		for b, free := range remaining {
+			if free >= size && (best == -1 || free < remaining[best]) {
+				best = b
+			}
+		}
+		res.Assignment[i] = best
+		if best == -1 {
+			res.UnpackedTotal += size
+			res.UnpackedCount++
+			continue
+		}
+		remaining[best] -= size
+		res.PackedTotal += size
+		res.PackedCount++
+	}
+	return res
+}
+
+// BestFitDecreasing sorts the items in decreasing size before running
+// best-fit. This is the configuration the paper's C1 metric uses: large
+// future processes claim the large contiguous slacks first, so a
+// fragmented design is penalized exactly when fragmentation hurts.
+func BestFitDecreasing(items, bins []int64) Result {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return items[order[a]] > items[order[b]] })
+	sorted := make([]int64, len(items))
+	for i, idx := range order {
+		sorted[i] = items[idx]
+	}
+	res := BestFit(sorted, bins)
+	// Translate the assignment back to the caller's item order.
+	assignment := make([]int, len(items))
+	for i, idx := range order {
+		assignment[idx] = res.Assignment[i]
+	}
+	res.Assignment = assignment
+	return res
+}
+
+// FirstFit packs items (in the given order) into the first bin that fits.
+// It exists as a baseline for tests and ablations; the metrics use
+// best-fit per the paper.
+func FirstFit(items, bins []int64) Result {
+	remaining := append([]int64(nil), bins...)
+	res := Result{Assignment: make([]int, len(items))}
+	for i, size := range items {
+		placed := -1
+		for b, free := range remaining {
+			if free >= size {
+				placed = b
+				break
+			}
+		}
+		res.Assignment[i] = placed
+		if placed == -1 {
+			res.UnpackedTotal += size
+			res.UnpackedCount++
+			continue
+		}
+		remaining[placed] -= size
+		res.PackedTotal += size
+		res.PackedCount++
+	}
+	return res
+}

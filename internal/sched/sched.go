@@ -1,0 +1,121 @@
+// Package sched implements the static cyclic scheduler of the paper: an
+// insertion-based list scheduler that places every occurrence of every
+// process of an application into free processor time, and every
+// inter-node message into a TDMA slot occurrence of the sender's node,
+// over the system hyperperiod.
+//
+// A State accumulates applications one at a time, which is exactly the
+// incremental design process: existing applications are scheduled first
+// and become immovable reservations; the current application is then
+// scheduled into the remaining slack. Mapping strategies evaluate design
+// alternatives by cloning a base State and re-scheduling the current
+// application with a different mapping or different placement hints.
+package sched
+
+import (
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// Job identifies one occurrence of a process within the hyperperiod.
+type Job struct {
+	Proc model.ProcID
+	Occ  int
+}
+
+// MsgOcc identifies one occurrence of a message.
+type MsgOcc struct {
+	Msg model.MsgID
+	Occ int
+}
+
+// ProcEntry is one scheduled process occurrence.
+type ProcEntry struct {
+	App   model.AppID
+	Graph model.GraphID
+	Proc  model.ProcID
+	Occ   int
+	Node  model.NodeID
+	Start tm.Time
+	End   tm.Time
+}
+
+// MsgEntry is one scheduled message occurrence on the bus.
+type MsgEntry struct {
+	App      model.AppID
+	Graph    model.GraphID
+	Msg      model.MsgID
+	Occ      int
+	Round    int
+	Slot     int
+	Bytes    int
+	Sender   model.NodeID
+	Receiver model.NodeID
+	Ready    tm.Time // when the producer finished
+	Start    tm.Time // slot start
+	Arrive   tm.Time // slot end: data available at the receiver
+}
+
+// Hints bias the scheduler's placement decisions and are the mechanism
+// behind the paper's design transformations: "move process to a different
+// slack" sets a minimum start offset for the process; "move message to a
+// different slack on the bus" sets a minimum slot-start offset for the
+// message. Offsets are relative to the release of each occurrence
+// (k * period), so one hint consistently shifts every occurrence.
+//
+// Hints are preferences, not constraints: when honoring a hint would make
+// a job unschedulable, the scheduler ignores that hint and places the job
+// at its earliest feasible position instead. A design alternative
+// therefore only fails when it is genuinely infeasible.
+type Hints struct {
+	ProcStart map[model.ProcID]tm.Time
+	MsgStart  map[model.MsgID]tm.Time
+}
+
+// Clone returns an independent copy of the hints.
+func (h Hints) Clone() Hints {
+	c := Hints{}
+	if h.ProcStart != nil {
+		c.ProcStart = make(map[model.ProcID]tm.Time, len(h.ProcStart))
+		for k, v := range h.ProcStart {
+			c.ProcStart[k] = v
+		}
+	}
+	if h.MsgStart != nil {
+		c.MsgStart = make(map[model.MsgID]tm.Time, len(h.MsgStart))
+		for k, v := range h.MsgStart {
+			c.MsgStart[k] = v
+		}
+	}
+	return c
+}
+
+// SetProcStart returns a copy of h with the process hint set (or removed
+// when start <= 0).
+func (h Hints) SetProcStart(p model.ProcID, start tm.Time) Hints {
+	c := h.Clone()
+	if c.ProcStart == nil {
+		c.ProcStart = map[model.ProcID]tm.Time{}
+	}
+	if start <= 0 {
+		delete(c.ProcStart, p)
+	} else {
+		c.ProcStart[p] = start
+	}
+	return c
+}
+
+// SetMsgStart returns a copy of h with the message hint set (or removed
+// when start <= 0).
+func (h Hints) SetMsgStart(m model.MsgID, start tm.Time) Hints {
+	c := h.Clone()
+	if c.MsgStart == nil {
+		c.MsgStart = map[model.MsgID]tm.Time{}
+	}
+	if start <= 0 {
+		delete(c.MsgStart, m)
+	} else {
+		c.MsgStart[m] = start
+	}
+	return c
+}

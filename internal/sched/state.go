@@ -1,0 +1,344 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+	"incdes/internal/ttp"
+)
+
+// State is a (partial) static cyclic schedule over the hyperperiod of a
+// system: per-node busy intervals, bus slot reservations, and the schedule
+// tables built so far. Applications are added one at a time with
+// ScheduleApp; everything already in the state is immovable.
+//
+// If ScheduleApp returns an error the state may hold partial reservations
+// of the failed application and must be discarded; strategies always work
+// on clones of a base state, so this costs nothing.
+type State struct {
+	sys     *model.System
+	horizon tm.Time
+	busy    map[model.NodeID]*tm.Set
+	bus     *ttp.State
+
+	procs   []ProcEntry
+	msgs    []MsgEntry
+	jobEnd  map[Job]tm.Time      // finish time of each scheduled job
+	jobNode map[Job]model.NodeID // node of each scheduled job
+	mapping model.Mapping        // accumulated over all scheduled apps
+}
+
+// NewState returns an empty schedule over the system hyperperiod.
+func NewState(sys *model.System) (*State, error) {
+	horizon := sys.Hyperperiod()
+	bus, err := ttp.NewState(sys.Arch.Bus, horizon)
+	if err != nil {
+		return nil, err
+	}
+	busy := make(map[model.NodeID]*tm.Set, len(sys.Arch.Nodes))
+	for _, n := range sys.Arch.Nodes {
+		busy[n.ID] = tm.NewSet()
+	}
+	return &State{
+		sys:     sys,
+		horizon: horizon,
+		busy:    busy,
+		bus:     bus,
+		jobEnd:  map[Job]tm.Time{},
+		jobNode: map[Job]model.NodeID{},
+		mapping: model.Mapping{},
+	}, nil
+}
+
+// Clone returns an independent deep copy.
+func (s *State) Clone() *State {
+	c := &State{
+		sys:     s.sys,
+		horizon: s.horizon,
+		busy:    make(map[model.NodeID]*tm.Set, len(s.busy)),
+		bus:     s.bus.Clone(),
+		procs:   append([]ProcEntry(nil), s.procs...),
+		msgs:    append([]MsgEntry(nil), s.msgs...),
+		jobEnd:  make(map[Job]tm.Time, len(s.jobEnd)),
+		jobNode: make(map[Job]model.NodeID, len(s.jobNode)),
+		mapping: s.mapping.Clone(),
+	}
+	for n, set := range s.busy {
+		c.busy[n] = set.Clone()
+	}
+	for j, t := range s.jobEnd {
+		c.jobEnd[j] = t
+	}
+	for j, n := range s.jobNode {
+		c.jobNode[j] = n
+	}
+	return c
+}
+
+// System returns the system the schedule belongs to.
+func (s *State) System() *model.System { return s.sys }
+
+// Horizon returns the hyperperiod the schedule covers.
+func (s *State) Horizon() tm.Time { return s.horizon }
+
+// Busy returns the busy interval set of a node (do not modify).
+func (s *State) Busy(n model.NodeID) *tm.Set { return s.busy[n] }
+
+// BusState returns the bus reservation state (do not modify).
+func (s *State) BusState() *ttp.State { return s.bus }
+
+// ProcEntries returns every scheduled process occurrence (do not modify).
+func (s *State) ProcEntries() []ProcEntry { return s.procs }
+
+// MsgEntries returns every scheduled message occurrence (do not modify).
+func (s *State) MsgEntries() []MsgEntry { return s.msgs }
+
+// Mapping returns the accumulated process-to-node assignment of all
+// applications scheduled so far (do not modify).
+func (s *State) Mapping() model.Mapping { return s.mapping }
+
+// Occurrences returns how many times a graph with the given period repeats
+// inside the hyperperiod.
+func (s *State) Occurrences(period tm.Time) int {
+	return int(s.horizon / period)
+}
+
+// jobDeadline returns the absolute deadline of occurrence occ of graph g.
+func jobDeadline(g *model.Graph, occ int) tm.Time {
+	return tm.Time(occ)*g.Period + g.Deadline
+}
+
+// planMsg finds (and reserves) a slot occurrence for one message
+// occurrence. release is the occurrence release time k*T; ready is when
+// the producer finishes.
+func (s *State) planMsg(g *model.Graph, m *model.Message, occ int, sender model.NodeID,
+	ready, release tm.Time, hints Hints) (MsgEntry, error) {
+
+	earliest := ready
+	if off, ok := hints.MsgStart[m.ID]; ok {
+		earliest = tm.Max(earliest, release+off)
+	}
+	round, slot, ok := s.bus.FindSlot(sender, earliest, m.Bytes, 0)
+	if !ok && earliest > ready {
+		// The hint is a preference, not a constraint: fall back to the
+		// earliest feasible slot when honoring it is impossible.
+		round, slot, ok = s.bus.FindSlot(sender, ready, m.Bytes, 0)
+	}
+	if !ok {
+		return MsgEntry{}, fmt.Errorf("sched: no slot for message %d occ %d (sender node %d, %d bytes, earliest %v)",
+			m.ID, occ, sender, m.Bytes, ready)
+	}
+	if err := s.bus.Reserve(round, slot, m.Bytes); err != nil {
+		return MsgEntry{}, err
+	}
+	bus := s.sys.Arch.Bus
+	return MsgEntry{
+		Graph: g.ID, Msg: m.ID, Occ: occ,
+		Round: round, Slot: slot, Bytes: m.Bytes,
+		Sender: sender,
+		Ready:  ready,
+		Start:  bus.SlotStart(round, slot),
+		Arrive: bus.SlotEnd(round, slot),
+	}, nil
+}
+
+// scheduleJob places one process occurrence (and the inter-node messages
+// feeding it) onto its mapped node. Messages are scheduled when their
+// consumer is placed, because only then are both endpoints known.
+func (s *State) scheduleJob(app *model.Application, g *model.Graph, p *model.Process,
+	occ int, mapping model.Mapping, hints Hints) error {
+
+	node, ok := mapping[p.ID]
+	if !ok {
+		return fmt.Errorf("sched: process %d has no mapping", p.ID)
+	}
+	wcet, ok := p.WCET[node]
+	if !ok {
+		return fmt.Errorf("sched: process %d cannot run on node %d", p.ID, node)
+	}
+	release := tm.Time(occ) * g.Period
+	deadline := jobDeadline(g, occ)
+
+	dataReady := release
+	var newMsgs []MsgEntry
+	for _, m := range g.InMsgs(p.ID) {
+		pred := Job{Proc: m.Src, Occ: occ}
+		predEnd, ok := s.jobEnd[pred]
+		if !ok {
+			return fmt.Errorf("sched: internal: predecessor %d of %d not yet scheduled", m.Src, p.ID)
+		}
+		if s.jobNode[pred] == node {
+			dataReady = tm.Max(dataReady, predEnd) // same node: shared memory, no bus
+			continue
+		}
+		me, err := s.planMsg(g, m, occ, s.jobNode[pred], predEnd, release, hints)
+		if err != nil {
+			return err
+		}
+		me.App = app.ID
+		me.Receiver = node
+		newMsgs = append(newMsgs, me)
+		dataReady = tm.Max(dataReady, me.Arrive)
+	}
+
+	earliest := dataReady
+	if off, ok := hints.ProcStart[p.ID]; ok {
+		earliest = tm.Max(earliest, release+off)
+	}
+	start, ok := s.busy[node].FirstFit(earliest, wcet, deadline)
+	if !ok && earliest > dataReady {
+		// Hints are preferences: ignore one rather than fail the design.
+		start, ok = s.busy[node].FirstFit(dataReady, wcet, deadline)
+	}
+	if !ok {
+		return fmt.Errorf("sched: process %d occ %d does not fit on node %d before deadline %v",
+			p.ID, occ, node, deadline)
+	}
+	if err := s.busy[node].Insert(tm.Iv(start, start+wcet)); err != nil {
+		return fmt.Errorf("sched: internal: %w", err)
+	}
+	s.procs = append(s.procs, ProcEntry{
+		App: app.ID, Graph: g.ID, Proc: p.ID, Occ: occ,
+		Node: node, Start: start, End: start + wcet,
+	})
+	s.msgs = append(s.msgs, newMsgs...)
+	j := Job{Proc: p.ID, Occ: occ}
+	s.jobEnd[j] = start + wcet
+	s.jobNode[j] = node
+	return nil
+}
+
+// ScheduleApp schedules every occurrence of every graph of app into the
+// state using the given mapping, honoring hints. Jobs are processed in
+// decreasing partial-critical-path priority (which respects precedence).
+// On failure the state is partially modified and must be discarded.
+func (s *State) ScheduleApp(app *model.Application, mapping model.Mapping, hints Hints) error {
+	jobs, err := s.jobList(app)
+	if err != nil {
+		return err
+	}
+	for _, jb := range jobs {
+		if err := s.scheduleJob(app, jb.graph, jb.proc, jb.occ, mapping, hints); err != nil {
+			return err
+		}
+	}
+	for _, g := range app.Graphs {
+		for _, p := range g.Procs {
+			s.mapping[p.ID] = mapping[p.ID]
+		}
+	}
+	return nil
+}
+
+// jobItem is one schedulable unit with its precomputed ordering keys.
+type jobItem struct {
+	graph *model.Graph
+	proc  *model.Process
+	occ   int
+	prio  tm.Time
+	topo  int
+}
+
+// jobList expands an application into its hyperperiod job set, ordered by
+// decreasing priority. Priority strictly decreases along graph edges, so
+// the order is a valid scheduling order.
+func (s *State) jobList(app *model.Application) ([]jobItem, error) {
+	var jobs []jobItem
+	for _, g := range app.Graphs {
+		if s.horizon%g.Period != 0 {
+			return nil, fmt.Errorf("sched: graph %d period %v does not divide horizon %v",
+				g.ID, g.Period, s.horizon)
+		}
+		prio := Priorities(g, s.sys.Arch.Bus)
+		order, err := g.TopoOrder()
+		if err != nil {
+			return nil, err
+		}
+		topoPos := make(map[model.ProcID]int, len(order))
+		for i, p := range order {
+			topoPos[p.ID] = i
+		}
+		occs := s.Occurrences(g.Period)
+		for _, p := range g.Procs {
+			for occ := 0; occ < occs; occ++ {
+				jobs = append(jobs, jobItem{
+					graph: g, proc: p, occ: occ,
+					prio: prio[p.ID], topo: topoPos[p.ID],
+				})
+			}
+		}
+	}
+	sortJobs(jobs)
+	return jobs, nil
+}
+
+// sortJobs orders jobs for the list scheduler: higher partial-critical-
+// path priority first, with every occurrence of a process kept together
+// (ascending). Priority strictly decreases along graph edges, so all jobs
+// of a predecessor precede all jobs of its successors — which both
+// respects precedence and lets the mapper verify every occurrence of a
+// process before committing its node binding.
+func sortJobs(jobs []jobItem) {
+	sort.Slice(jobs, func(i, j int) bool {
+		a, b := jobs[i], jobs[j]
+		if a.prio != b.prio {
+			return a.prio > b.prio
+		}
+		if a.topo != b.topo {
+			return a.topo < b.topo
+		}
+		if a.graph.ID != b.graph.ID {
+			return a.graph.ID < b.graph.ID
+		}
+		if a.proc.ID != b.proc.ID {
+			return a.proc.ID < b.proc.ID
+		}
+		return a.occ < b.occ
+	})
+}
+
+// Restrict returns a new state over sys containing only the applications
+// accepted by keep, with their schedule entries copied verbatim from src.
+// This is how an application is "unscheduled": build the complement. sys
+// may differ from src's system (e.g. it additionally contains the next
+// application to be placed) but must share the architecture and yield the
+// same hyperperiod. The reconstruction works purely from the schedule
+// tables, so the result is exactly what scheduling the kept applications
+// in src's positions would have produced.
+func Restrict(src *State, sys *model.System, keep func(model.AppID) bool) (*State, error) {
+	if sys.Arch != src.sys.Arch {
+		return nil, fmt.Errorf("sched: restrict: target system has a different architecture")
+	}
+	st, err := NewState(sys)
+	if err != nil {
+		return nil, err
+	}
+	if st.horizon != src.horizon {
+		return nil, fmt.Errorf("sched: restrict: hyperperiod changes from %v to %v", src.horizon, st.horizon)
+	}
+	for _, e := range src.procs {
+		if !keep(e.App) {
+			continue
+		}
+		if err := st.busy[e.Node].Insert(tm.Iv(e.Start, e.End)); err != nil {
+			return nil, fmt.Errorf("sched: restrict: %w", err)
+		}
+		st.procs = append(st.procs, e)
+		j := Job{Proc: e.Proc, Occ: e.Occ}
+		st.jobEnd[j] = e.End
+		st.jobNode[j] = e.Node
+		st.mapping[e.Proc] = e.Node
+	}
+	for _, m := range src.msgs {
+		if !keep(m.App) {
+			continue
+		}
+		if err := st.bus.Reserve(m.Round, m.Slot, m.Bytes); err != nil {
+			return nil, fmt.Errorf("sched: restrict: %w", err)
+		}
+		st.msgs = append(st.msgs, m)
+	}
+	return st, nil
+}

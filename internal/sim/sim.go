@@ -1,0 +1,209 @@
+// Package sim validates a static cyclic schedule by replaying it against
+// the system model, independently of the scheduler's own bookkeeping. It
+// re-derives every constraint from the schedule tables alone:
+//
+//   - completeness: every occurrence of every process of the checked
+//     applications appears exactly once;
+//   - processor exclusivity: entries on one node never overlap;
+//   - WCET consistency: each entry runs exactly its WCET on its node;
+//   - release and deadline: occurrence k of a graph runs inside
+//     [k*T, k*T + D];
+//   - precedence: a consumer starts only after each producer finished
+//     (same node) or after the message's slot occurrence ended (bus);
+//   - TDMA discipline: messages travel in slots owned by the sender's
+//     node, within the horizon, and no slot occurrence overflows its
+//     byte capacity.
+//
+// The scheduler and the mapping strategies are tested against this oracle
+// on randomized inputs; any disagreement is a bug in one of them.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// Violation describes one broken constraint.
+type Violation struct {
+	Kind   string // e.g. "overlap", "deadline", "precedence"
+	Detail string
+}
+
+func (v Violation) String() string { return v.Kind + ": " + v.Detail }
+
+// Check replays the schedule and returns all violations found for the
+// given applications (pass every application that should be fully
+// scheduled in st). An empty result means the schedule is valid.
+func Check(st *sched.State, apps ...*model.Application) []Violation {
+	var out []Violation
+	report := func(kind, format string, args ...interface{}) {
+		out = append(out, Violation{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	sys := st.System()
+	ix := model.NewIndex(apps...)
+	horizon := st.Horizon()
+
+	// Index the schedule tables.
+	procAt := map[sched.Job]sched.ProcEntry{}
+	for _, e := range st.ProcEntries() {
+		j := sched.Job{Proc: e.Proc, Occ: e.Occ}
+		if prev, dup := procAt[j]; dup {
+			report("duplicate", "process %d occ %d scheduled twice: %v and %v", e.Proc, e.Occ, prev, e)
+			continue
+		}
+		procAt[j] = e
+	}
+	msgAt := map[sched.MsgOcc]sched.MsgEntry{}
+	for _, e := range st.MsgEntries() {
+		k := sched.MsgOcc{Msg: e.Msg, Occ: e.Occ}
+		if prev, dup := msgAt[k]; dup {
+			report("duplicate", "message %d occ %d scheduled twice: %v and %v", e.Msg, e.Occ, prev, e)
+			continue
+		}
+		msgAt[k] = e
+	}
+
+	// Completeness, WCET, release/deadline, precedence.
+	for _, app := range apps {
+		for _, g := range app.Graphs {
+			occs := int(horizon / g.Period)
+			for occ := 0; occ < occs; occ++ {
+				release := tm.Time(occ) * g.Period
+				deadline := release + g.Deadline
+				for _, p := range g.Procs {
+					e, ok := procAt[sched.Job{Proc: p.ID, Occ: occ}]
+					if !ok {
+						report("missing", "process %d (%s) occ %d not scheduled", p.ID, p.Name, occ)
+						continue
+					}
+					w, allowed := p.WCET[e.Node]
+					if !allowed {
+						report("mapping", "process %d occ %d runs on disallowed node %d", p.ID, occ, e.Node)
+					} else if e.End-e.Start != w {
+						report("wcet", "process %d occ %d runs %v on node %d, WCET is %v",
+							p.ID, occ, e.End-e.Start, e.Node, w)
+					}
+					if e.Start < release {
+						report("release", "process %d occ %d starts %v before release %v", p.ID, occ, e.Start, release)
+					}
+					if e.End > deadline {
+						report("deadline", "process %d occ %d ends %v after deadline %v", p.ID, occ, e.End, deadline)
+					}
+				}
+				for _, m := range g.Msgs {
+					src, okS := procAt[sched.Job{Proc: m.Src, Occ: occ}]
+					dst, okD := procAt[sched.Job{Proc: m.Dst, Occ: occ}]
+					if !okS || !okD {
+						continue // already reported as missing
+					}
+					if src.Node == dst.Node {
+						if dst.Start < src.End {
+							report("precedence", "message %d occ %d: consumer %d starts %v before producer %d ends %v",
+								m.ID, occ, m.Dst, dst.Start, m.Src, src.End)
+						}
+						if _, onBus := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]; onBus {
+							report("bus", "message %d occ %d between co-located processes uses the bus", m.ID, occ)
+						}
+						continue
+					}
+					me, ok := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]
+					if !ok {
+						report("missing", "inter-node message %d occ %d not on the bus", m.ID, occ)
+						continue
+					}
+					checkMsg(report, sys, horizon, m, me, src, dst)
+				}
+			}
+		}
+	}
+
+	checkNodeOverlaps(report, st)
+	checkSlotCapacities(report, sys, st)
+
+	// Messages must belong to known applications.
+	for _, e := range st.MsgEntries() {
+		if ix.Msg[e.Msg] == nil && len(apps) > 0 && appKnown(apps, e.App) {
+			report("unknown", "message entry for unknown message %d", e.Msg)
+		}
+	}
+	return out
+}
+
+func appKnown(apps []*model.Application, id model.AppID) bool {
+	for _, a := range apps {
+		if a.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+func checkMsg(report func(string, string, ...interface{}), sys *model.System, horizon tm.Time,
+	m *model.Message, me sched.MsgEntry, src, dst sched.ProcEntry) {
+
+	bus := sys.Arch.Bus
+	if me.Slot < 0 || me.Slot >= bus.NumSlots() {
+		report("bus", "message %d occ %d in nonexistent slot %d", m.ID, me.Occ, me.Slot)
+		return
+	}
+	if bus.SlotOrder[me.Slot] != src.Node {
+		report("tdma", "message %d occ %d in slot %d owned by node %d, sender is node %d",
+			m.ID, me.Occ, me.Slot, bus.SlotOrder[me.Slot], src.Node)
+	}
+	slotStart := bus.SlotStart(me.Round, me.Slot)
+	slotEnd := bus.SlotEnd(me.Round, me.Slot)
+	if slotStart != me.Start || slotEnd != me.Arrive {
+		report("tdma", "message %d occ %d timing mismatch: entry [%v,%v), slot occurrence [%v,%v)",
+			m.ID, me.Occ, me.Start, me.Arrive, slotStart, slotEnd)
+	}
+	if slotEnd > horizon {
+		report("tdma", "message %d occ %d slot occurrence ends %v after horizon %v", m.ID, me.Occ, slotEnd, horizon)
+	}
+	if slotStart < src.End {
+		report("precedence", "message %d occ %d slot starts %v before producer ends %v",
+			m.ID, me.Occ, slotStart, src.End)
+	}
+	if dst.Start < slotEnd {
+		report("precedence", "message %d occ %d consumer starts %v before arrival %v",
+			m.ID, me.Occ, dst.Start, slotEnd)
+	}
+	if me.Bytes != m.Bytes {
+		report("bus", "message %d occ %d entry has %d bytes, model says %d", m.ID, me.Occ, me.Bytes, m.Bytes)
+	}
+}
+
+func checkNodeOverlaps(report func(string, string, ...interface{}), st *sched.State) {
+	byNode := map[model.NodeID][]sched.ProcEntry{}
+	for _, e := range st.ProcEntries() {
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	for node, entries := range byNode {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Start < entries[j].Start })
+		for i := 1; i < len(entries); i++ {
+			if entries[i].Start < entries[i-1].End {
+				report("overlap", "node %d: process %d occ %d [%v,%v) overlaps process %d occ %d [%v,%v)",
+					node,
+					entries[i-1].Proc, entries[i-1].Occ, entries[i-1].Start, entries[i-1].End,
+					entries[i].Proc, entries[i].Occ, entries[i].Start, entries[i].End)
+			}
+		}
+	}
+}
+
+func checkSlotCapacities(report func(string, string, ...interface{}), sys *model.System, st *sched.State) {
+	used := map[[2]int]int{}
+	for _, e := range st.MsgEntries() {
+		used[[2]int{e.Round, e.Slot}] += e.Bytes
+	}
+	for key, bytes := range used {
+		if cap := sys.Arch.Bus.SlotBytes[key[1]]; bytes > cap {
+			report("capacity", "slot occurrence (round %d, slot %d) carries %d bytes, capacity %d",
+				key[0], key[1], bytes, cap)
+		}
+	}
+}

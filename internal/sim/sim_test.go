@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"testing"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// validState builds a two-node system with a cross-bus chain and returns
+// the scheduled state plus its application.
+func validState(t *testing.T) (*sched.State, *model.Application) {
+	t.Helper()
+	b := model.NewBuilder()
+	n0 := b.Node("N0")
+	n1 := b.Node("N1")
+	b.Bus([]model.NodeID{n0, n1}, []int{8, 8}, 1, 2) // round 20
+	g := b.App("a").Graph("G", 100, 100)
+	p1 := g.Proc("P1", map[model.NodeID]tm.Time{n0: 10})
+	p2 := g.Proc("P2", map[model.NodeID]tm.Time{n1: 15})
+	p3 := g.Proc("P3", map[model.NodeID]tm.Time{n1: 5})
+	g.Msg(p1, p2, 4)
+	g.Msg(p2, p3, 2)
+	sys, err := b.System()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := sched.NewState(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.ScheduleApp(sys.Apps[0], model.Mapping{p1: n0, p2: n1, p3: n1}, sched.Hints{}); err != nil {
+		t.Fatal(err)
+	}
+	return st, sys.Apps[0]
+}
+
+func TestCheckAcceptsValidSchedule(t *testing.T) {
+	st, app := validState(t)
+	if vs := Check(st, app); len(vs) != 0 {
+		t.Fatalf("valid schedule rejected: %v", vs)
+	}
+}
+
+// The tamper tests mutate the schedule tables through the exposed slices,
+// which is exactly the kind of corruption the oracle exists to catch.
+
+func TestCheckDetectsDeadlineMiss(t *testing.T) {
+	st, app := validState(t)
+	entries := st.ProcEntries()
+	entries[len(entries)-1].Start = 99
+	entries[len(entries)-1].End = 104 // past deadline 100
+	if !hasKind(Check(st, app), "deadline") {
+		t.Error("deadline violation not detected")
+	}
+}
+
+func TestCheckDetectsOverlap(t *testing.T) {
+	st, app := validState(t)
+	entries := st.ProcEntries()
+	// Move P3 on top of P2 (both on node 1).
+	for i := range entries {
+		if entries[i].Proc == app.Graphs[0].Procs[2].ID {
+			p2 := findEntry(entries, app.Graphs[0].Procs[1].ID)
+			entries[i].Start = p2.Start
+			entries[i].End = p2.Start + 5
+		}
+	}
+	vs := Check(st, app)
+	if !hasKind(vs, "overlap") {
+		t.Errorf("overlap not detected: %v", vs)
+	}
+}
+
+func TestCheckDetectsWrongWCET(t *testing.T) {
+	st, app := validState(t)
+	entries := st.ProcEntries()
+	entries[0].End = entries[0].Start + 1
+	if !hasKind(Check(st, app), "wcet") {
+		t.Error("WCET mismatch not detected")
+	}
+}
+
+func TestCheckDetectsDisallowedNode(t *testing.T) {
+	st, app := validState(t)
+	entries := st.ProcEntries()
+	p3 := app.Graphs[0].Procs[2].ID
+	for i := range entries {
+		if entries[i].Proc == p3 {
+			entries[i].Node = 0 // P3 may only run on node 1
+		}
+	}
+	if !hasKind(Check(st, app), "mapping") {
+		t.Error("disallowed node not detected")
+	}
+}
+
+func TestCheckDetectsMissingProcess(t *testing.T) {
+	st, app := validState(t)
+	// Check against an application that also contains an unscheduled graph.
+	extra := &model.Application{ID: app.ID, Name: app.Name,
+		Graphs: append(append([]*model.Graph{}, app.Graphs...), &model.Graph{
+			ID: 99, Name: "ghost", Period: 100, Deadline: 100,
+			Procs: []*model.Process{{ID: 99, WCET: map[model.NodeID]tm.Time{0: 10}}},
+		})}
+	if !hasKind(Check(st, extra), "missing") {
+		t.Error("missing process not detected")
+	}
+}
+
+func TestCheckDetectsPrecedenceViolation(t *testing.T) {
+	st, app := validState(t)
+	entries := st.ProcEntries()
+	// Pull the consumer P2 to start before the message arrives.
+	p2 := app.Graphs[0].Procs[1].ID
+	for i := range entries {
+		if entries[i].Proc == p2 {
+			entries[i].Start = 0
+			entries[i].End = 15
+		}
+	}
+	if !hasKind(Check(st, app), "precedence") {
+		t.Error("precedence violation not detected")
+	}
+}
+
+func TestCheckDetectsTDMAViolation(t *testing.T) {
+	st, app := validState(t)
+	msgs := st.MsgEntries()
+	// Put the first message into the receiver's slot instead.
+	msgs[0].Slot = 1
+	vs := Check(st, app)
+	if !hasKind(vs, "tdma") {
+		t.Errorf("TDMA ownership violation not detected: %v", vs)
+	}
+}
+
+func TestCheckDetectsCapacityOverflow(t *testing.T) {
+	st, app := validState(t)
+	msgs := st.MsgEntries()
+	msgs[0].Bytes = 100 // far over the 8-byte slot
+	vs := Check(st, app)
+	if !hasKind(vs, "capacity") {
+		t.Errorf("capacity overflow not detected: %v", vs)
+	}
+}
+
+// TestCheckRandomTestCases is the end-to-end oracle: generated test cases,
+// scheduled by the initial-mapping algorithm, must always replay cleanly.
+func TestCheckRandomTestCases(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Nodes = 5
+	cfg.GraphMinProcs = 5
+	cfg.GraphMaxProcs = 12
+	for seed := int64(0); seed < 8; seed++ {
+		tc, err := gen.MakeTestCase(cfg, seed, 50, 25)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := tc.Base.Clone()
+		if _, err := st.MapApp(tc.Current, sched.Hints{}); err != nil {
+			t.Fatalf("seed %d: current app: %v", seed, err)
+		}
+		apps := append(append([]*model.Application{}, tc.Existing...), tc.Current)
+		if vs := Check(st, apps...); len(vs) != 0 {
+			t.Fatalf("seed %d: %d violations, first: %v", seed, len(vs), vs[0])
+		}
+	}
+}
+
+func hasKind(vs []Violation, kind string) bool {
+	for _, v := range vs {
+		if v.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+func findEntry(entries []sched.ProcEntry, p model.ProcID) sched.ProcEntry {
+	for _, e := range entries {
+		if e.Proc == p {
+			return e
+		}
+	}
+	return sched.ProcEntry{}
+}

@@ -1,0 +1,117 @@
+package slack_test
+
+import (
+	"incdes/internal/slack"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// TestQuickSlackComplementsBusy: on randomly generated scheduled systems,
+// per-node slack and busy time partition the horizon exactly, and no
+// slack interval overlaps a scheduled entry.
+func TestQuickSlackComplementsBusy(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Nodes = 4
+	cfg.GraphMinProcs = 4
+	cfg.GraphMaxProcs = 8
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		tc, err := gen.MakeTestCase(cfg, seed%1000, 30, 10)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		st := tc.Base
+		per := slack.Processor(st)
+		horizon := st.Horizon()
+		for _, n := range st.System().Arch.NodeIDs() {
+			var slackTotal tm.Time
+			for _, iv := range per[n] {
+				slackTotal += iv.Len()
+				if st.Busy(n).OverlapsAny(iv) {
+					return false
+				}
+			}
+			if slackTotal+st.Busy(n).Total() != horizon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWindowSlackSumsToTotal: the per-window slack of any node sums
+// to its total slack when Tmin divides the horizon.
+func TestQuickWindowSlackSumsToTotal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const horizon = tm.Time(240)
+		// Random idle intervals.
+		busy := tm.NewSet()
+		for i := 0; i < 12; i++ {
+			a := tm.Time(rng.Int63n(int64(horizon)))
+			b := a + 1 + tm.Time(rng.Int63n(20))
+			if b > horizon {
+				b = horizon
+			}
+			busy.Add(tm.Iv(a, b))
+		}
+		idle := busy.Gaps(tm.Iv(0, horizon))
+		for _, tmin := range []tm.Time{40, 60, 120, 240} {
+			ws := slack.WindowSlack(idle, tmin, horizon)
+			var sum tm.Time
+			for _, w := range ws {
+				sum += w
+			}
+			var total tm.Time
+			for _, iv := range idle {
+				total += iv.Len()
+			}
+			if sum != total {
+				return false
+			}
+			if len(ws) != int(horizon/tmin) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLengthsEmpty(t *testing.T) {
+	if got := slack.Lengths(nil); len(got) != 0 {
+		t.Errorf("slack.Lengths(nil) = %v", got)
+	}
+}
+
+func TestAllIntervalsDeterministicOrder(t *testing.T) {
+	per := map[model.NodeID][]tm.Interval{
+		2: {tm.Iv(0, 5)},
+		0: {tm.Iv(10, 15)},
+		1: {tm.Iv(20, 25)},
+	}
+	a := slack.AllIntervals(per)
+	b := slack.AllIntervals(per)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("AllIntervals order not deterministic")
+		}
+	}
+	// Node order: 0, 1, 2.
+	if a[0] != tm.Iv(10, 15) || a[2] != tm.Iv(0, 5) {
+		t.Errorf("AllIntervals = %v, want node-ascending order", a)
+	}
+}

@@ -1,0 +1,156 @@
+// Package slack extracts and analyzes the free resources of a design
+// alternative: the idle intervals of every processor and the unused
+// capacity of every TDMA slot occurrence. The design metrics (package
+// metrics) and the mapping heuristic's candidate selection both build on
+// these views.
+package slack
+
+import (
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// Processor returns the idle intervals of every node over the schedule
+// horizon, in node order.
+func Processor(st *sched.State) map[model.NodeID][]tm.Interval {
+	out := make(map[model.NodeID][]tm.Interval, len(st.System().Arch.Nodes))
+	window := tm.Iv(0, st.Horizon())
+	for _, n := range st.System().Arch.Nodes {
+		out[n.ID] = st.Busy(n.ID).Gaps(window)
+	}
+	return out
+}
+
+// AllIntervals flattens the per-node slack map into a single slice
+// (the containers for the C1P bin packing).
+func AllIntervals(perNode map[model.NodeID][]tm.Interval) []tm.Interval {
+	var nodes []model.NodeID
+	for n := range perNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	var out []tm.Interval
+	for _, n := range nodes {
+		out = append(out, perNode[n]...)
+	}
+	return out
+}
+
+// Lengths converts intervals to their lengths as int64 bin capacities.
+func Lengths(ivs []tm.Interval) []int64 {
+	out := make([]int64, len(ivs))
+	for i, iv := range ivs {
+		out[i] = int64(iv.Len())
+	}
+	return out
+}
+
+// WindowSlack splits [0, horizon) into consecutive windows of length tmin
+// (only full windows count) and returns the total idle time per window
+// given a node's idle intervals. The paper's second criterion needs the
+// minimum of these: slack must be available *periodically*, not just in
+// total.
+func WindowSlack(idle []tm.Interval, tmin, horizon tm.Time) []tm.Time {
+	n := int(horizon / tmin)
+	if n == 0 {
+		// A horizon shorter than Tmin still has one (clipped) window.
+		n = 1
+		tmin = horizon
+	}
+	out := make([]tm.Time, n)
+	for w := 0; w < n; w++ {
+		win := tm.Iv(tm.Time(w)*tmin, tm.Time(w+1)*tmin)
+		for _, iv := range idle {
+			out[w] += iv.Intersect(win).Len()
+		}
+	}
+	return out
+}
+
+// MinWindowSlack returns the minimum per-window idle time.
+func MinWindowSlack(idle []tm.Interval, tmin, horizon tm.Time) tm.Time {
+	ws := WindowSlack(idle, tmin, horizon)
+	min := ws[0]
+	for _, v := range ws[1:] {
+		min = tm.Min(min, v)
+	}
+	return min
+}
+
+// BusFreeBytes returns the free capacity of every slot occurrence
+// (the containers for the C1m bin packing), in time order.
+func BusFreeBytes(st *sched.State) []int64 {
+	occs := st.BusState().Occurrences()
+	out := make([]int64, len(occs))
+	for i, o := range occs {
+		out[i] = int64(o.FreeBytes)
+	}
+	return out
+}
+
+// BusWindowFree splits the horizon into tmin windows and returns the free
+// bus capacity (bytes) per window. A slot occurrence contributes to the
+// window containing its end time (when its frame would be delivered).
+func BusWindowFree(st *sched.State, tmin tm.Time) []int64 {
+	horizon := st.Horizon()
+	n := int(horizon / tmin)
+	if n == 0 {
+		n = 1
+		tmin = horizon
+	}
+	out := make([]int64, n)
+	for _, o := range st.BusState().Occurrences() {
+		w := int((o.End - 1) / tmin)
+		if w >= n {
+			w = n - 1
+		}
+		out[w] += int64(o.FreeBytes)
+	}
+	return out
+}
+
+// MinBusWindowFree returns the minimum per-window free bus capacity.
+func MinBusWindowFree(st *sched.State, tmin tm.Time) int64 {
+	ws := BusWindowFree(st, tmin)
+	min := ws[0]
+	for _, v := range ws[1:] {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Fragmentation summarizes how broken-up a node's slack is; the mapping
+// heuristic uses it to find the processes with the highest potential to
+// improve the design when moved.
+type Fragmentation struct {
+	Node      model.NodeID
+	Pieces    int     // number of distinct idle intervals
+	Total     tm.Time // total idle time
+	Largest   tm.Time // largest single idle interval
+	MeanPiece tm.Time // Total / Pieces (0 when no slack)
+}
+
+// Fragments computes per-node fragmentation statistics.
+func Fragments(st *sched.State) []Fragmentation {
+	per := Processor(st)
+	nodes := st.System().Arch.NodeIDs()
+	out := make([]Fragmentation, 0, len(nodes))
+	for _, n := range nodes {
+		f := Fragmentation{Node: n}
+		for _, iv := range per[n] {
+			f.Pieces++
+			f.Total += iv.Len()
+			f.Largest = tm.Max(f.Largest, iv.Len())
+		}
+		if f.Pieces > 0 {
+			f.MeanPiece = f.Total / tm.Time(f.Pieces)
+		}
+		out = append(out, f)
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package textplot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"incdes/internal/model"
+	"incdes/internal/sched"
+	"incdes/internal/tm"
+)
+
+// GanttSVG renders the schedule as a standalone SVG document: one lane
+// per node plus a bus lane, colored per application, with a time axis in
+// TDMA rounds. The output is self-contained (no scripts, no external
+// fonts) and suitable for embedding in design reviews.
+func GanttSVG(st *sched.State, width int) string {
+	if width <= 0 {
+		width = 900
+	}
+	const (
+		laneH   = 28
+		laneGap = 8
+		leftPad = 56
+		topPad  = 28
+	)
+	horizon := st.Horizon()
+	nodes := st.System().Arch.NodeIDs()
+	lanes := len(nodes) + 1 // + bus
+	height := topPad + lanes*(laneH+laneGap) + 24
+	plotW := width - leftPad - 12
+
+	x := func(t tm.Time) float64 {
+		return float64(leftPad) + float64(t)/float64(horizon)*float64(plotW)
+	}
+	laneY := map[model.NodeID]int{}
+	for i, n := range nodes {
+		laneY[n] = topPad + i*(laneH+laneGap)
+	}
+	busY := topPad + len(nodes)*(laneH+laneGap)
+
+	// Stable, readable colors per application.
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1",
+		"#76b7b2", "#edc948", "#9c755f", "#bab0ac", "#d37295",
+	}
+	color := func(app model.AppID) string {
+		return palette[int(app)%len(palette)]
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+
+	// Round grid.
+	rl := st.System().Arch.Bus.RoundLen()
+	for t := tm.Time(0); t <= horizon; t += rl {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eeeeee"/>`+"\n",
+			x(t), topPad-6, x(t), busY+laneH)
+	}
+	// Axis labels every few rounds.
+	step := rl
+	for x(step)-x(0) < 60 {
+		step += rl
+	}
+	for t := tm.Time(0); t <= horizon; t += step {
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#666666" text-anchor="middle">%d</text>`+"\n",
+			x(t), topPad-10, int64(t))
+	}
+
+	// Lane labels and frames.
+	for _, n := range nodes {
+		fmt.Fprintf(&b, `<text x="8" y="%d" fill="#333333">N%d</text>`+"\n", laneY[n]+laneH/2+4, n)
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" stroke="#cccccc"/>`+"\n",
+			leftPad, laneY[n], plotW, laneH)
+	}
+	fmt.Fprintf(&b, `<text x="8" y="%d" fill="#333333">bus</text>`+"\n", busY+laneH/2+4)
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="#fafafa" stroke="#cccccc"/>`+"\n",
+		leftPad, busY, plotW, laneH)
+
+	// Process bars.
+	entries := append([]sched.ProcEntry(nil), st.ProcEntries()...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Start < entries[j].Start })
+	for _, e := range entries {
+		w := x(e.End) - x(e.Start)
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#ffffff"><title>proc %d occ %d app %d [%d,%d)</title></rect>`+"\n",
+			x(e.Start), laneY[e.Node]+2, w, laneH-4, color(e.App), e.Proc, e.Occ, e.App, int64(e.Start), int64(e.End))
+	}
+	// Message bars on the bus lane.
+	for _, m := range st.MsgEntries() {
+		w := x(m.Arrive) - x(m.Start)
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s" stroke="#ffffff"><title>msg %d occ %d round %d slot %d</title></rect>`+"\n",
+			x(m.Start), busY+2, w, laneH-4, color(m.App), m.Msg, m.Occ, m.Round, m.Slot)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,39 @@
+package textplot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGanttSVGStructure(t *testing.T) {
+	st := demoState(t)
+	svg := GanttSVG(st, 800)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not a well-formed SVG document")
+	}
+	for _, want := range []string{
+		`width="800"`,
+		">N0<", ">N1<", ">bus<",
+		"<title>proc 0 occ 0",
+		"<title>msg 0 occ 0",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// Every opened rect is closed or self-closed; crude well-formedness.
+	if strings.Count(svg, "<rect") == 0 {
+		t.Error("no bars rendered")
+	}
+	if strings.Count(svg, "<title>") != strings.Count(svg, "</title>") {
+		t.Error("unbalanced title tags")
+	}
+}
+
+func TestGanttSVGDefaultWidth(t *testing.T) {
+	st := demoState(t)
+	svg := GanttSVG(st, 0)
+	if !strings.Contains(svg, `width="900"`) {
+		t.Error("default width not applied")
+	}
+}

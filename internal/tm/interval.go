@@ -1,0 +1,223 @@
+package tm
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Interval is the half-open time range [Start, End).
+type Interval struct {
+	Start Time
+	End   Time
+}
+
+// Iv is shorthand for constructing an Interval.
+func Iv(start, end Time) Interval { return Interval{Start: start, End: end} }
+
+// Len returns the length of the interval; it is never negative for a
+// well-formed interval.
+func (iv Interval) Len() Time { return iv.End - iv.Start }
+
+// Empty reports whether the interval contains no points.
+func (iv Interval) Empty() bool { return iv.End <= iv.Start }
+
+// Contains reports whether t lies inside the half-open interval.
+func (iv Interval) Contains(t Time) bool { return t >= iv.Start && t < iv.End }
+
+// Overlaps reports whether iv and other share at least one point.
+func (iv Interval) Overlaps(other Interval) bool {
+	return iv.Start < other.End && other.Start < iv.End
+}
+
+// Intersect returns the overlap of iv and other (possibly empty).
+func (iv Interval) Intersect(other Interval) Interval {
+	r := Interval{Start: Max(iv.Start, other.Start), End: Min(iv.End, other.End)}
+	if r.Empty() {
+		return Interval{}
+	}
+	return r
+}
+
+func (iv Interval) String() string { return fmt.Sprintf("[%d,%d)", iv.Start, iv.End) }
+
+// Set is an ordered collection of disjoint, non-adjacent, non-empty
+// intervals. The zero value is an empty set ready to use. The scheduler
+// uses a Set per processor to track busy time; the slack analyzer inverts
+// it to obtain free time.
+type Set struct {
+	ivs []Interval // sorted by Start, pairwise disjoint and non-adjacent
+}
+
+// NewSet returns a set containing the given intervals (merged as needed).
+func NewSet(ivs ...Interval) *Set {
+	s := &Set{}
+	for _, iv := range ivs {
+		s.Add(iv)
+	}
+	return s
+}
+
+// Clone returns a deep copy of the set.
+func (s *Set) Clone() *Set {
+	c := &Set{ivs: make([]Interval, len(s.ivs))}
+	copy(c.ivs, s.ivs)
+	return c
+}
+
+// Len returns the number of maximal intervals in the set.
+func (s *Set) Len() int { return len(s.ivs) }
+
+// Intervals returns the maximal intervals in ascending order.
+// The returned slice must not be modified.
+func (s *Set) Intervals() []Interval { return s.ivs }
+
+// Total returns the summed length of all intervals.
+func (s *Set) Total() Time {
+	var t Time
+	for _, iv := range s.ivs {
+		t += iv.Len()
+	}
+	return t
+}
+
+// search returns the index of the first interval with End > t.
+func (s *Set) search(t Time) int {
+	return sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End > t })
+}
+
+// Contains reports whether t is covered by the set.
+func (s *Set) Contains(t Time) bool {
+	i := s.search(t)
+	return i < len(s.ivs) && s.ivs[i].Contains(t)
+}
+
+// OverlapsAny reports whether iv intersects any interval in the set.
+func (s *Set) OverlapsAny(iv Interval) bool {
+	if iv.Empty() {
+		return false
+	}
+	i := s.search(iv.Start)
+	return i < len(s.ivs) && s.ivs[i].Overlaps(iv)
+}
+
+// Add inserts iv into the set, merging with any overlapping or adjacent
+// intervals. Empty intervals are ignored.
+func (s *Set) Add(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	// Find the run of intervals that overlap or touch iv.
+	lo := sort.Search(len(s.ivs), func(i int) bool { return s.ivs[i].End >= iv.Start })
+	hi := lo
+	for hi < len(s.ivs) && s.ivs[hi].Start <= iv.End {
+		iv.Start = Min(iv.Start, s.ivs[hi].Start)
+		iv.End = Max(iv.End, s.ivs[hi].End)
+		hi++
+	}
+	s.ivs = append(s.ivs[:lo], append([]Interval{iv}, s.ivs[hi:]...)...)
+}
+
+// Insert adds iv and reports an error if it overlaps existing content.
+// This is the reservation primitive: double-booking a processor is a bug.
+func (s *Set) Insert(iv Interval) error {
+	if iv.Empty() {
+		return fmt.Errorf("tm: insert of empty interval %v", iv)
+	}
+	if s.OverlapsAny(iv) {
+		return fmt.Errorf("tm: interval %v overlaps existing reservation", iv)
+	}
+	s.Add(iv)
+	return nil
+}
+
+// Remove deletes iv from the set, splitting intervals as needed.
+func (s *Set) Remove(iv Interval) {
+	if iv.Empty() {
+		return
+	}
+	out := s.ivs[:0:0]
+	for _, cur := range s.ivs {
+		if !cur.Overlaps(iv) {
+			out = append(out, cur)
+			continue
+		}
+		if cur.Start < iv.Start {
+			out = append(out, Interval{Start: cur.Start, End: iv.Start})
+		}
+		if cur.End > iv.End {
+			out = append(out, Interval{Start: iv.End, End: cur.End})
+		}
+	}
+	s.ivs = out
+}
+
+// Gaps returns the maximal free intervals inside window that are not
+// covered by the set, in ascending order.
+func (s *Set) Gaps(window Interval) []Interval {
+	var gaps []Interval
+	cursor := window.Start
+	i := s.search(window.Start)
+	for ; i < len(s.ivs) && s.ivs[i].Start < window.End; i++ {
+		iv := s.ivs[i]
+		if iv.Start > cursor {
+			gaps = append(gaps, Interval{Start: cursor, End: iv.Start})
+		}
+		cursor = Max(cursor, iv.End)
+	}
+	if cursor < window.End {
+		gaps = append(gaps, Interval{Start: cursor, End: window.End})
+	}
+	return gaps
+}
+
+// FirstFit returns the earliest start s0 >= earliest such that
+// [s0, s0+dur) is free and s0+dur <= latestEnd. ok is false if no such
+// placement exists. A zero dur fits at earliest whenever earliest <= latestEnd.
+func (s *Set) FirstFit(earliest, dur, latestEnd Time) (Time, bool) {
+	if dur < 0 || earliest+dur > latestEnd {
+		return 0, false
+	}
+	start := earliest
+	i := s.search(start)
+	for i < len(s.ivs) {
+		iv := s.ivs[i]
+		if iv.Start >= start+dur {
+			break // the gap before iv fits
+		}
+		if iv.End > start {
+			start = iv.End // pushed past this busy interval
+			if start+dur > latestEnd {
+				return 0, false
+			}
+		}
+		i++
+	}
+	return start, true
+}
+
+// NextFits returns up to max candidate starts (earliest position in each
+// successive free gap) where a block of dur fits, beginning at or after
+// earliest and ending by latestEnd. Used by the mapping heuristic to
+// enumerate "different slacks" for a process move.
+func (s *Set) NextFits(earliest, dur, latestEnd Time, max int) []Time {
+	var starts []Time
+	cur := earliest
+	for len(starts) < max {
+		st, ok := s.FirstFit(cur, dur, latestEnd)
+		if !ok {
+			break
+		}
+		starts = append(starts, st)
+		// Jump past the end of the gap that produced st.
+		i := s.search(st + dur)
+		if i >= len(s.ivs) {
+			break
+		}
+		cur = s.ivs[i].End
+	}
+	return starts
+}
+
+func (s *Set) String() string {
+	return fmt.Sprint(s.ivs)
+}

@@ -1,0 +1,81 @@
+package tm
+
+import "testing"
+
+func TestMinMax(t *testing.T) {
+	if got := Min(3, 5); got != 3 {
+		t.Errorf("Min(3,5) = %v, want 3", got)
+	}
+	if got := Min(5, 3); got != 3 {
+		t.Errorf("Min(5,3) = %v, want 3", got)
+	}
+	if got := Max(3, 5); got != 5 {
+		t.Errorf("Max(3,5) = %v, want 5", got)
+	}
+	if got := Max(-1, -7); got != -1 {
+		t.Errorf("Max(-1,-7) = %v, want -1", got)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	tests := []struct{ a, b, want Time }{
+		{12, 18, 6},
+		{18, 12, 6},
+		{7, 13, 1},
+		{0, 5, 5},
+		{5, 0, 5},
+		{40, 40, 40},
+	}
+	for _, tc := range tests {
+		if got := GCD(tc.a, tc.b); got != tc.want {
+			t.Errorf("GCD(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLCM(t *testing.T) {
+	tests := []struct{ a, b, want Time }{
+		{4, 6, 12},
+		{1, 9, 9},
+		{20, 50, 100},
+		{40, 40, 40},
+	}
+	for _, tc := range tests {
+		if got := LCM(tc.a, tc.b); got != tc.want {
+			t.Errorf("LCM(%d,%d) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLCMPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LCM(0, 3) did not panic")
+		}
+	}()
+	LCM(0, 3)
+}
+
+func TestLCMAll(t *testing.T) {
+	if got := LCMAll([]Time{4, 6, 10}); got != 60 {
+		t.Errorf("LCMAll = %d, want 60", got)
+	}
+	if got := LCMAll([]Time{7}); got != 7 {
+		t.Errorf("LCMAll single = %d, want 7", got)
+	}
+}
+
+func TestLCMAllPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("LCMAll(nil) did not panic")
+		}
+	}()
+	LCMAll(nil)
+}
+
+func TestTimeString(t *testing.T) {
+	if got := Time(42).String(); got != "42tu" {
+		t.Errorf("Time.String = %q, want 42tu", got)
+	}
+}

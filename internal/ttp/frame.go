@@ -1,0 +1,97 @@
+package ttp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"incdes/internal/model"
+)
+
+// Frame layout, used to emit a concrete byte image of one slot occurrence
+// from its MEDL entries. A TTP frame here is:
+//
+//	[1]  message count n
+//	n *( [4] message ID big-endian | [1] payload length | payload )
+//	[4]  IEEE CRC-32 over everything before it
+//
+// The payload carries the application data at run time; the static image
+// encodes zeros. The wire size of a frame therefore exceeds the sum of the
+// message payload sizes by the header/trailer overhead, which is what the
+// bus model's SlotOverhead accounts for in the timing domain.
+
+const (
+	frameHeaderLen  = 1
+	framePerMsgLen  = 5
+	frameTrailerLen = 4
+)
+
+// FrameMessage is one message inside a frame.
+type FrameMessage struct {
+	Msg     model.MsgID
+	Payload []byte
+}
+
+// EncodeFrame serializes the messages of one slot occurrence.
+func EncodeFrame(msgs []FrameMessage) ([]byte, error) {
+	if len(msgs) > 255 {
+		return nil, fmt.Errorf("ttp: frame holds at most 255 messages, got %d", len(msgs))
+	}
+	size := frameHeaderLen + frameTrailerLen
+	for _, m := range msgs {
+		if len(m.Payload) > 255 {
+			return nil, fmt.Errorf("ttp: message %d payload %d bytes exceeds 255", m.Msg, len(m.Payload))
+		}
+		if m.Msg < 0 || int64(m.Msg) > int64(^uint32(0)) {
+			return nil, fmt.Errorf("ttp: message id %d not encodable in 32 bits", m.Msg)
+		}
+		size += framePerMsgLen + len(m.Payload)
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(len(msgs)))
+	for _, m := range msgs {
+		var id [4]byte
+		binary.BigEndian.PutUint32(id[:], uint32(m.Msg))
+		buf = append(buf, id[:]...)
+		buf = append(buf, byte(len(m.Payload)))
+		buf = append(buf, m.Payload...)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, crc[:]...)
+	return buf, nil
+}
+
+// DecodeFrame parses a frame produced by EncodeFrame, verifying the CRC.
+func DecodeFrame(buf []byte) ([]FrameMessage, error) {
+	if len(buf) < frameHeaderLen+frameTrailerLen {
+		return nil, fmt.Errorf("ttp: frame of %d bytes is too short", len(buf))
+	}
+	body, trailer := buf[:len(buf)-frameTrailerLen], buf[len(buf)-frameTrailerLen:]
+	want := binary.BigEndian.Uint32(trailer)
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("ttp: frame CRC mismatch: computed %08x, stored %08x", got, want)
+	}
+	n := int(body[0])
+	pos := frameHeaderLen
+	msgs := make([]FrameMessage, 0, n)
+	for i := 0; i < n; i++ {
+		if pos+framePerMsgLen > len(body) {
+			return nil, fmt.Errorf("ttp: frame truncated in message %d header", i)
+		}
+		id := model.MsgID(binary.BigEndian.Uint32(body[pos : pos+4]))
+		plen := int(body[pos+4])
+		pos += framePerMsgLen
+		if pos+plen > len(body) {
+			return nil, fmt.Errorf("ttp: frame truncated in message %d payload", i)
+		}
+		payload := make([]byte, plen)
+		copy(payload, body[pos:pos+plen])
+		pos += plen
+		msgs = append(msgs, FrameMessage{Msg: id, Payload: payload})
+	}
+	if pos != len(body) {
+		return nil, fmt.Errorf("ttp: frame has %d trailing bytes", len(body)-pos)
+	}
+	return msgs, nil
+}

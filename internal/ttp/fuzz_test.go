@@ -1,0 +1,33 @@
+package ttp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hardens the frame parser against arbitrary bus noise: it
+// must never panic, and everything it accepts must re-encode to the same
+// bytes (the decoder is the inverse of the encoder on its accepted set).
+func FuzzDecodeFrame(f *testing.F) {
+	seed, _ := EncodeFrame([]FrameMessage{
+		{Msg: 1, Payload: []byte{1, 2, 3}},
+		{Msg: 70000, Payload: nil},
+	})
+	f.Add(seed)
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0})
+	f.Add([]byte{255, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := DecodeFrame(data)
+		if err != nil {
+			return
+		}
+		back, err := EncodeFrame(msgs)
+		if err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		if !bytes.Equal(back, data) {
+			t.Fatalf("decode/encode not inverse:\n in  %x\n out %x", data, back)
+		}
+	})
+}

@@ -1,0 +1,78 @@
+package ttp
+
+import (
+	"fmt"
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// Placement records where one message occurrence was scheduled on the bus.
+// It is the bus-side output of the static scheduler.
+type Placement struct {
+	Msg   model.MsgID
+	Occ   int // occurrence index of the sending graph
+	Round int
+	Slot  int
+	Bytes int
+}
+
+// MEDLEntry is one line of the message descriptor list: inside slot
+// occurrence (Round, Slot) the message occupies [Offset, Offset+Bytes).
+// TTP controllers are configured from exactly this static table.
+type MEDLEntry struct {
+	Round  int          `json:"round"`
+	Slot   int          `json:"slot"`
+	Offset int          `json:"offset"`
+	Msg    model.MsgID  `json:"msg"`
+	Occ    int          `json:"occ"`
+	Bytes  int          `json:"bytes"`
+	Owner  model.NodeID `json:"owner"`
+	Start  tm.Time      `json:"start"`
+	End    tm.Time      `json:"end"`
+}
+
+// BuildMEDL lays the placements out inside their slot occurrences,
+// assigning byte offsets in deterministic (msg ID, occurrence) order, and
+// returns the full descriptor list sorted by time. It fails if any slot
+// occurrence overflows — which would indicate a scheduler bug, since the
+// scheduler reserves capacity before placing.
+func BuildMEDL(bus *model.Bus, placements []Placement) ([]MEDLEntry, error) {
+	bySlot := map[[2]int][]Placement{}
+	for _, p := range placements {
+		key := [2]int{p.Round, p.Slot}
+		bySlot[key] = append(bySlot[key], p)
+	}
+	var medl []MEDLEntry
+	for key, ps := range bySlot {
+		sort.Slice(ps, func(i, j int) bool {
+			if ps[i].Msg != ps[j].Msg {
+				return ps[i].Msg < ps[j].Msg
+			}
+			return ps[i].Occ < ps[j].Occ
+		})
+		offset := 0
+		for _, p := range ps {
+			if offset+p.Bytes > bus.SlotBytes[p.Slot] {
+				return nil, fmt.Errorf("ttp: slot occurrence (%d,%d) overflows: offset %d + %d bytes > capacity %d",
+					p.Round, p.Slot, offset, p.Bytes, bus.SlotBytes[p.Slot])
+			}
+			medl = append(medl, MEDLEntry{
+				Round: key[0], Slot: key[1], Offset: offset,
+				Msg: p.Msg, Occ: p.Occ, Bytes: p.Bytes,
+				Owner: bus.SlotOrder[p.Slot],
+				Start: bus.SlotStart(key[0], key[1]),
+				End:   bus.SlotEnd(key[0], key[1]),
+			})
+			offset += p.Bytes
+		}
+	}
+	sort.Slice(medl, func(i, j int) bool {
+		if medl[i].Start != medl[j].Start {
+			return medl[i].Start < medl[j].Start
+		}
+		return medl[i].Offset < medl[j].Offset
+	})
+	return medl, nil
+}

@@ -1,0 +1,166 @@
+// Package ttp models the time-triggered protocol bus (Kopetz & Grünsteidl,
+// IEEE Computer 1994) at the level of detail the paper's scheduler needs:
+// a static TDMA round of node-owned slots repeating over the schedule
+// horizon, per-slot byte capacities, and reservation bookkeeping for the
+// messages packed into each slot occurrence. It also exports the static
+// MEDL (message descriptor list) and a concrete frame layout so a design
+// can be emitted in a form a TTP controller configuration would take.
+package ttp
+
+import (
+	"fmt"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// State tracks how many bytes of every slot occurrence are reserved over a
+// schedule horizon. The horizon must be a whole number of TDMA rounds
+// (guaranteed when it is the system hyperperiod, which includes the round
+// length as an LCM factor).
+type State struct {
+	bus     *model.Bus
+	horizon tm.Time
+	rounds  int
+	used    [][]int // used[round][slot] = reserved bytes
+}
+
+// NewState returns an empty reservation state over the horizon.
+func NewState(bus *model.Bus, horizon tm.Time) (*State, error) {
+	rl := bus.RoundLen()
+	if rl <= 0 {
+		return nil, fmt.Errorf("ttp: bus round length %v must be positive", rl)
+	}
+	if horizon%rl != 0 {
+		return nil, fmt.Errorf("ttp: horizon %v is not a multiple of the TDMA round %v", horizon, rl)
+	}
+	rounds := int(horizon / rl)
+	used := make([][]int, rounds)
+	for r := range used {
+		used[r] = make([]int, bus.NumSlots())
+	}
+	return &State{bus: bus, horizon: horizon, rounds: rounds, used: used}, nil
+}
+
+// Bus returns the underlying bus description.
+func (s *State) Bus() *model.Bus { return s.bus }
+
+// Horizon returns the schedule horizon the state covers.
+func (s *State) Horizon() tm.Time { return s.horizon }
+
+// Rounds returns the number of TDMA rounds inside the horizon.
+func (s *State) Rounds() int { return s.rounds }
+
+// Clone returns an independent copy of the reservation state. Cloning is
+// cheap by design: the mapping strategies clone the base state for every
+// what-if evaluation.
+func (s *State) Clone() *State {
+	c := &State{bus: s.bus, horizon: s.horizon, rounds: s.rounds}
+	c.used = make([][]int, len(s.used))
+	for r, row := range s.used {
+		c.used[r] = append([]int(nil), row...)
+	}
+	return c
+}
+
+// Used returns the reserved bytes of slot occurrence (round, slot).
+func (s *State) Used(round, slot int) int { return s.used[round][slot] }
+
+// Free returns the free bytes of slot occurrence (round, slot).
+func (s *State) Free(round, slot int) int {
+	return s.bus.SlotBytes[slot] - s.used[round][slot]
+}
+
+// Reserve books bytes in slot occurrence (round, slot). It fails if the
+// occurrence lies outside the horizon or lacks capacity.
+func (s *State) Reserve(round, slot, bytes int) error {
+	if round < 0 || round >= s.rounds || slot < 0 || slot >= s.bus.NumSlots() {
+		return fmt.Errorf("ttp: slot occurrence (%d,%d) outside horizon", round, slot)
+	}
+	if bytes <= 0 {
+		return fmt.Errorf("ttp: reservation of %d bytes", bytes)
+	}
+	if s.Free(round, slot) < bytes {
+		return fmt.Errorf("ttp: slot occurrence (%d,%d) has %d free bytes, need %d",
+			round, slot, s.Free(round, slot), bytes)
+	}
+	s.used[round][slot] += bytes
+	return nil
+}
+
+// Release returns previously reserved bytes. Releasing more than is
+// reserved is a bookkeeping bug and panics.
+func (s *State) Release(round, slot, bytes int) {
+	if s.used[round][slot] < bytes {
+		panic(fmt.Sprintf("ttp: release of %d bytes from occurrence (%d,%d) holding %d",
+			bytes, round, slot, s.used[round][slot]))
+	}
+	s.used[round][slot] -= bytes
+}
+
+// FindSlot returns the earliest slot occurrence owned by node that starts
+// at or after earliest (the frame is assembled before the slot begins, so
+// the message must exist by then), lies within the horizon, begins at
+// round >= fromRound, and has at least bytes free. ok is false if no such
+// occurrence exists.
+func (s *State) FindSlot(node model.NodeID, earliest tm.Time, bytes, fromRound int) (round, slot int, ok bool) {
+	slots := s.bus.SlotsOf(node)
+	if len(slots) == 0 {
+		return 0, 0, false
+	}
+	startRound := 0
+	if earliest > 0 {
+		startRound = int(earliest / s.bus.RoundLen()) // slot starts within this round could still be >= earliest
+	}
+	if fromRound > startRound {
+		startRound = fromRound
+	}
+	for r := startRound; r < s.rounds; r++ {
+		for _, sl := range slots {
+			if s.bus.SlotStart(r, sl) < earliest {
+				continue
+			}
+			if s.Free(r, sl) >= bytes {
+				return r, sl, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// SlotOccurrence describes one (round, slot) occurrence with its timing
+// and remaining capacity; the slack analyzer enumerates these.
+type SlotOccurrence struct {
+	Round, Slot int
+	Owner       model.NodeID
+	Start, End  tm.Time
+	FreeBytes   int
+}
+
+// Occurrences lists every slot occurrence in the horizon in time order.
+func (s *State) Occurrences() []SlotOccurrence {
+	out := make([]SlotOccurrence, 0, s.rounds*s.bus.NumSlots())
+	for r := 0; r < s.rounds; r++ {
+		for sl := 0; sl < s.bus.NumSlots(); sl++ {
+			out = append(out, SlotOccurrence{
+				Round: r, Slot: sl,
+				Owner:     s.bus.SlotOrder[sl],
+				Start:     s.bus.SlotStart(r, sl),
+				End:       s.bus.SlotEnd(r, sl),
+				FreeBytes: s.Free(r, sl),
+			})
+		}
+	}
+	return out
+}
+
+// TotalFreeBytes sums the free capacity over all slot occurrences.
+func (s *State) TotalFreeBytes() int {
+	total := 0
+	for r := 0; r < s.rounds; r++ {
+		for sl := 0; sl < s.bus.NumSlots(); sl++ {
+			total += s.Free(r, sl)
+		}
+	}
+	return total
+}

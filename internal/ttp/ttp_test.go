@@ -1,0 +1,269 @@
+package ttp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+func testBus() *model.Bus {
+	return &model.Bus{
+		SlotOrder:    []model.NodeID{1, 0}, // slide-5 slot order: S1 then S0
+		SlotBytes:    []int{8, 8},
+		ByteTime:     2,
+		SlotOverhead: 2,
+	}
+	// slot duration 18, round length 36
+}
+
+func TestNewStateRequiresRoundMultiple(t *testing.T) {
+	bus := testBus()
+	if _, err := NewState(bus, 100); err == nil {
+		t.Error("horizon not multiple of round accepted")
+	}
+	st, err := NewState(bus, 360)
+	if err != nil {
+		t.Fatalf("NewState: %v", err)
+	}
+	if st.Rounds() != 10 {
+		t.Errorf("Rounds = %d, want 10", st.Rounds())
+	}
+}
+
+func TestReserveAndFree(t *testing.T) {
+	st, _ := NewState(testBus(), 360)
+	if got := st.Free(0, 0); got != 8 {
+		t.Fatalf("initial free = %d", got)
+	}
+	if err := st.Reserve(0, 0, 5); err != nil {
+		t.Fatalf("Reserve: %v", err)
+	}
+	if got := st.Free(0, 0); got != 3 {
+		t.Errorf("free after reserve = %d, want 3", got)
+	}
+	if err := st.Reserve(0, 0, 4); err == nil {
+		t.Error("over-capacity reservation accepted")
+	}
+	if err := st.Reserve(0, 0, 3); err != nil {
+		t.Errorf("exact-fit reservation rejected: %v", err)
+	}
+	st.Release(0, 0, 8)
+	if got := st.Free(0, 0); got != 8 {
+		t.Errorf("free after release = %d, want 8", got)
+	}
+	if err := st.Reserve(99, 0, 1); err == nil {
+		t.Error("out-of-horizon reservation accepted")
+	}
+	if err := st.Reserve(0, 0, 0); err == nil {
+		t.Error("zero-byte reservation accepted")
+	}
+}
+
+func TestReleasePanicsOnUnderflow(t *testing.T) {
+	st, _ := NewState(testBus(), 36)
+	defer func() {
+		if recover() == nil {
+			t.Error("Release underflow did not panic")
+		}
+	}()
+	st.Release(0, 0, 1)
+}
+
+func TestFindSlotBasics(t *testing.T) {
+	st, _ := NewState(testBus(), 360) // rounds of 36; node 1 owns slot 0, node 0 owns slot 1
+	// Node 0's slot in round 0 starts at 18.
+	r, sl, ok := st.FindSlot(0, 0, 4, 0)
+	if !ok || r != 0 || sl != 1 {
+		t.Fatalf("FindSlot(node0, t=0) = (%d,%d,%v)", r, sl, ok)
+	}
+	// earliest after the slot start pushes to the next round.
+	r, sl, ok = st.FindSlot(0, 19, 4, 0)
+	if !ok || r != 1 || sl != 1 {
+		t.Errorf("FindSlot(node0, t=19) = (%d,%d,%v), want round 1", r, sl, ok)
+	}
+	// earliest exactly at slot start is allowed (frame assembled at start).
+	r, _, ok = st.FindSlot(0, 18, 4, 0)
+	if !ok || r != 0 {
+		t.Errorf("FindSlot(node0, t=18) = round %d, want 0", r)
+	}
+	// fromRound skips earlier rounds even if they are free.
+	r, _, ok = st.FindSlot(0, 0, 4, 3)
+	if !ok || r != 3 {
+		t.Errorf("FindSlot(fromRound=3) = round %d, want 3", r)
+	}
+	// Unknown node owns no slots.
+	if _, _, ok := st.FindSlot(7, 0, 1, 0); ok {
+		t.Error("FindSlot for slotless node succeeded")
+	}
+}
+
+func TestFindSlotSkipsFullOccurrences(t *testing.T) {
+	st, _ := NewState(testBus(), 360)
+	// Fill node 0's slot in rounds 0..2.
+	for r := 0; r < 3; r++ {
+		if err := st.Reserve(r, 1, 8); err != nil {
+			t.Fatalf("Reserve round %d: %v", r, err)
+		}
+	}
+	r, _, ok := st.FindSlot(0, 0, 2, 0)
+	if !ok || r != 3 {
+		t.Errorf("FindSlot over full rounds = round %d (ok=%v), want 3", r, ok)
+	}
+	// A message bigger than the slot can never be placed.
+	if _, _, ok := st.FindSlot(0, 0, 9, 0); ok {
+		t.Error("FindSlot placed an oversized message")
+	}
+}
+
+func TestFindSlotHorizonBound(t *testing.T) {
+	st, _ := NewState(testBus(), 72) // 2 rounds
+	if _, _, ok := st.FindSlot(0, 60, 1, 0); ok {
+		t.Error("FindSlot returned an occurrence starting after every slot of node 0")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	st, _ := NewState(testBus(), 72)
+	if err := st.Reserve(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	c := st.Clone()
+	if err := c.Reserve(0, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st.Free(0, 0) != 4 {
+		t.Error("Clone shares reservation storage with original")
+	}
+	if c.Free(0, 0) != 0 {
+		t.Error("Clone lost reservation")
+	}
+}
+
+func TestOccurrencesOrdering(t *testing.T) {
+	st, _ := NewState(testBus(), 72)
+	occs := st.Occurrences()
+	if len(occs) != 4 {
+		t.Fatalf("len(Occurrences) = %d, want 4", len(occs))
+	}
+	var prev tm.Time = -1
+	for _, o := range occs {
+		if o.Start < prev {
+			t.Errorf("occurrences not in time order: %v", occs)
+		}
+		prev = o.Start
+		if o.End-o.Start != 18 {
+			t.Errorf("slot duration = %v, want 18", o.End-o.Start)
+		}
+	}
+	if occs[0].Owner != 1 || occs[1].Owner != 0 {
+		t.Errorf("slot owners wrong: %v, %v", occs[0].Owner, occs[1].Owner)
+	}
+}
+
+func TestTotalFreeBytes(t *testing.T) {
+	st, _ := NewState(testBus(), 72)
+	if got := st.TotalFreeBytes(); got != 32 {
+		t.Fatalf("TotalFreeBytes = %d, want 32", got)
+	}
+	st.Reserve(1, 1, 5)
+	if got := st.TotalFreeBytes(); got != 27 {
+		t.Errorf("TotalFreeBytes after reserve = %d, want 27", got)
+	}
+}
+
+func TestBuildMEDL(t *testing.T) {
+	bus := testBus()
+	placements := []Placement{
+		{Msg: 2, Occ: 0, Round: 0, Slot: 0, Bytes: 3},
+		{Msg: 1, Occ: 0, Round: 0, Slot: 0, Bytes: 4},
+		{Msg: 3, Occ: 1, Round: 1, Slot: 1, Bytes: 8},
+	}
+	medl, err := BuildMEDL(bus, placements)
+	if err != nil {
+		t.Fatalf("BuildMEDL: %v", err)
+	}
+	if len(medl) != 3 {
+		t.Fatalf("len(medl) = %d", len(medl))
+	}
+	// Slot (0,0): msg 1 at offset 0, msg 2 at offset 4.
+	if medl[0].Msg != 1 || medl[0].Offset != 0 {
+		t.Errorf("first entry = %+v", medl[0])
+	}
+	if medl[1].Msg != 2 || medl[1].Offset != 4 {
+		t.Errorf("second entry = %+v", medl[1])
+	}
+	if medl[2].Msg != 3 || medl[2].Round != 1 {
+		t.Errorf("third entry = %+v", medl[2])
+	}
+	// Overflow detection.
+	placements = append(placements, Placement{Msg: 4, Occ: 0, Round: 0, Slot: 0, Bytes: 5})
+	if _, err := BuildMEDL(bus, placements); err == nil {
+		t.Error("overflowing MEDL accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := []FrameMessage{
+		{Msg: 1, Payload: []byte{0xAA, 0xBB}},
+		{Msg: 70000, Payload: nil},
+		{Msg: 3, Payload: []byte{1, 2, 3, 4, 5}},
+	}
+	buf, err := EncodeFrame(msgs)
+	if err != nil {
+		t.Fatalf("EncodeFrame: %v", err)
+	}
+	got, err := DecodeFrame(buf)
+	if err != nil {
+		t.Fatalf("DecodeFrame: %v", err)
+	}
+	if len(got) != 3 || got[0].Msg != 1 || got[1].Msg != 70000 {
+		t.Errorf("round trip = %+v", got)
+	}
+	if string(got[2].Payload) != string([]byte{1, 2, 3, 4, 5}) {
+		t.Errorf("payload corrupted: %v", got[2].Payload)
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	buf, _ := EncodeFrame([]FrameMessage{{Msg: 9, Payload: []byte{7}}})
+	buf[2] ^= 0xFF
+	if _, err := DecodeFrame(buf); err == nil {
+		t.Error("corrupted frame decoded without error")
+	}
+	if _, err := DecodeFrame(buf[:3]); err == nil {
+		t.Error("truncated frame decoded without error")
+	}
+}
+
+func TestFrameQuickRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(6)
+		msgs := make([]FrameMessage, n)
+		for i := range msgs {
+			p := make([]byte, rng.Intn(10))
+			rng.Read(p)
+			msgs[i] = FrameMessage{Msg: model.MsgID(rng.Intn(1 << 20)), Payload: p}
+		}
+		buf, err := EncodeFrame(msgs)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeFrame(buf)
+		if err != nil || len(got) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if got[i].Msg != msgs[i].Msg || string(got[i].Payload) != string(msgs[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
