@@ -24,6 +24,7 @@
 package incdes_test
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -216,6 +217,47 @@ func BenchmarkMHAblation(b *testing.B) {
 				obj += sol.Objective()
 			}
 			b.ReportMetric(obj/float64(b.N), "C")
+		})
+	}
+}
+
+// BenchmarkSolveMHParallel measures the parallel engine's MH speedup on
+// the 160-process sweep point: the same strategy at 1, 2 and 4
+// evaluation workers. The solution is byte-identical at every setting
+// (the determinism tests pin that); only ns/op should fall with workers —
+// on a multi-core machine. Compare sub-benchmarks against parallel=1.
+func BenchmarkSolveMHParallel(b *testing.B) {
+	p := benchProblem(b, 160)
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opts := core.Options{Strategy: core.MH, Parallelism: par}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(context.Background(), p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveSAParallel measures the parallel engine's SA speedup on
+// the 160-process sweep point: 4 restart chains at 1, 2 and 4 workers.
+// Chain iterations are reduced so a full -bench=. run stays bounded; the
+// chains are embarrassingly parallel, so the speedup is near-linear on a
+// multi-core machine.
+func BenchmarkSolveSAParallel(b *testing.B) {
+	p := benchProblem(b, 160)
+	strat := core.SAWith(core.SAOptions{Seed: 1, Iterations: 1500, Restarts: 4})
+	for _, par := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opts := core.Options{Strategy: strat, Parallelism: par}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(context.Background(), p, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -15,11 +15,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"incdes/internal/core"
 	"incdes/internal/eval"
@@ -34,15 +37,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "base seed")
 	quick := flag.Bool("quick", false, "small fast sweep (overrides -sizes/-cases/-existing)")
 	parallel := flag.Int("parallel", 1, "concurrent test cases (use 1 for trustworthy runtime measurements; <=0 means one per CPU)")
+	stratParallel := flag.Int("strategy-parallel", 1, "evaluation workers inside each strategy run (use 1 for trustworthy runtime measurements; <=0 means one per CPU)")
 	verbose := flag.Bool("v", false, "log per-case progress to stderr")
 	flag.Parse()
 
+	// Ctrl-C aborts the sweep: partial sweeps would misrepresent the
+	// figures, so the runners stop with the context's error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	o := eval.Options{
-		Config:   gen.Default(),
-		Existing: *existing,
-		Cases:    *cases,
-		BaseSeed: *seed,
-		Parallel: *parallel,
+		Config:           gen.Default(),
+		Existing:         *existing,
+		Cases:            *cases,
+		BaseSeed:         *seed,
+		Parallel:         *parallel,
+		StrategyParallel: *stratParallel,
 	}
 	if *sizes != "" {
 		for _, s := range strings.Split(*sizes, ",") {
@@ -76,7 +86,7 @@ func main() {
 			return devRes, nil
 		}
 		var err error
-		devRes, err = eval.RunDeviation(o)
+		devRes, err = eval.RunDeviation(ctx, o)
 		return devRes, err
 	}
 
@@ -95,25 +105,25 @@ func main() {
 			fmt.Println()
 			fmt.Print(res.Table())
 		case "futurefit":
-			res, err := eval.RunFutureFit(o)
+			res, err := eval.RunFutureFit(ctx, o)
 			if err != nil {
 				return err
 			}
 			fmt.Print(res.FitChart())
 		case "ablation":
-			res, err := eval.RunAblation(o)
+			res, err := eval.RunAblation(ctx, o)
 			if err != nil {
 				return err
 			}
 			fmt.Print(res.Table())
 		case "criteria":
-			res, err := eval.RunCriterionAblation(o)
+			res, err := eval.RunCriterionAblation(ctx, o)
 			if err != nil {
 				return err
 			}
 			fmt.Print(res.Table())
 		case "relaxed":
-			res, err := eval.RunRelaxed(o)
+			res, err := eval.RunRelaxed(ctx, o)
 			if err != nil {
 				return err
 			}

@@ -6,6 +6,7 @@
 //	incmap inspect  [-sys file]
 //	incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
 //	                [-analyze] [-export file.json] [-export-bin file.img]
+//	                [-parallel N] [-timeout D] [-sa-restarts K]
 //	incmap verify   [-sys file] [-design file.json]
 //	incmap simulate [-sys file] [-design file.json] [-seed S]
 //	                [-overrun-prob P] [-overrun-factor F]
@@ -19,9 +20,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"incdes/internal/analysis"
@@ -73,6 +77,7 @@ func usage() {
   incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
   incmap inspect  [-sys file]
   incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
+                  [-parallel N] [-timeout D] [-sa-restarts K]
   incmap verify   [-sys file] [-design file.json]
   incmap simulate [-sys file] [-design file.json] [-seed S] [-overrun-prob P]
   incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]`)
@@ -269,7 +274,20 @@ func cmdMap(args []string) error {
 	exportJSON := fs.String("export", "", "write the deployable design as JSON to this file")
 	exportBin := fs.String("export-bin", "", "write the binary design image to this file")
 	saIters := fs.Int("sa-iters", 0, "SA iterations (0 = default)")
+	saRestarts := fs.Int("sa-restarts", 0, "independent SA restart chains (0 = 1)")
+	parallel := fs.Int("parallel", 0, "evaluation workers (0 = one per CPU)")
+	timeout := fs.Duration("timeout", 0, "abort the strategy after this long, keeping the best design so far (0 = none)")
 	fs.Parse(args)
+
+	// Ctrl-C (or the timeout) cancels the strategy; the best design found
+	// so far is still reported, validated, and exported.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	sys, err := loadSystem(*sysPath)
 	if err != nil {
@@ -297,17 +315,21 @@ func cmdMap(args []string) error {
 		return err
 	}
 
-	var sol *core.Solution
+	var strat core.Strategy
 	switch *strategy {
 	case "ah":
-		sol, err = core.AdHoc(p)
+		strat = core.AH
 	case "mh":
-		sol, err = core.MappingHeuristic(p, core.MHOptions{})
+		strat = core.MH
 	case "sa":
-		sol, err = core.Anneal(p, core.SAOptions{Iterations: *saIters})
+		saOpts := core.DefaultSAOptions()
+		saOpts.Iterations = *saIters
+		saOpts.Restarts = *saRestarts
+		strat = core.SAWith(saOpts)
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
+	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: *parallel})
 	if err != nil {
 		return err
 	}
@@ -316,6 +338,9 @@ func cmdMap(args []string) error {
 		return fmt.Errorf("internal error: schedule fails validation: %v", vs[0])
 	}
 
+	if sol.Interrupted {
+		fmt.Println("interrupted: reporting the best design found so far")
+	}
 	fmt.Printf("strategy %s mapped %q in %v (%d design alternatives examined)\n",
 		sol.Strategy, current.Name, sol.Elapsed.Round(time.Millisecond), sol.Evaluations)
 	fmt.Printf("metrics: %v\n", sol.Report)

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"incdes/internal/metrics"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+)
+
+// Engine is the shared evaluation machinery behind Solve: a bounded worker
+// pool over cloned scheduler states, an evaluation memo keyed by the
+// design decisions, and the progress/cancellation plumbing. Strategies
+// receive one engine per Solve call and perform every candidate
+// evaluation through it, which is what makes them parallel, cancellable,
+// and observable without owning any of that logic themselves.
+//
+// An Engine is safe for concurrent use by the workers it spawns. Results
+// are deterministic by construction: evaluation is a pure function of
+// (problem, mapping, hints), so neither the worker count nor the cache
+// state can change what a strategy computes — only how fast.
+type Engine struct {
+	p           *Problem
+	parallelism int
+	progress    func(Event)
+	cache       *evalCache
+
+	// scratch holds worker-local schedule states reused across
+	// evaluations (CloneInto resets them), keeping the per-evaluation
+	// allocation cost near zero.
+	scratch sync.Pool
+
+	evals atomic.Int64
+	hits  atomic.Int64
+
+	// procIDs and msgIDs of the current application in sorted order:
+	// the canonical field order of the evaluation-memo key.
+	procIDs []model.ProcID
+	msgIDs  []model.MsgID
+
+	mu sync.Mutex // serializes Progress callbacks
+}
+
+// newEngine assembles the engine for one Solve call. opts must already be
+// resolved (non-nil strategy; parallelism and cache size may still carry
+// their documented zero values, which are resolved here).
+func newEngine(p *Problem, opts Options) *Engine {
+	e := &Engine{
+		p:           p,
+		parallelism: opts.Parallelism,
+		progress:    opts.Progress,
+	}
+	if e.parallelism <= 0 {
+		e.parallelism = defaultParallelism()
+	}
+	size := opts.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	if size > 0 {
+		e.cache = &evalCache{max: size, m: make(map[string]cacheEntry)}
+	}
+	for _, g := range p.Current.Graphs {
+		for _, pr := range g.Procs {
+			e.procIDs = append(e.procIDs, pr.ID)
+		}
+		for _, m := range g.Msgs {
+			e.msgIDs = append(e.msgIDs, m.ID)
+		}
+	}
+	sort.Slice(e.procIDs, func(i, j int) bool { return e.procIDs[i] < e.procIDs[j] })
+	sort.Slice(e.msgIDs, func(i, j int) bool { return e.msgIDs[i] < e.msgIDs[j] })
+	return e
+}
+
+// Problem returns the problem instance being solved.
+func (e *Engine) Problem() *Problem { return e.p }
+
+// Parallelism returns the resolved worker count.
+func (e *Engine) Parallelism() int { return e.parallelism }
+
+// Evaluations returns the number of design alternatives examined so far.
+func (e *Engine) Evaluations() int64 { return e.evals.Load() }
+
+// CacheHits returns how many of those evaluations were served from the
+// memo. The count is informational: concurrent workers may race to fill
+// an entry, so it can vary across runs even though results never do.
+func (e *Engine) CacheHits() int64 { return e.hits.Load() }
+
+// count records n examined design alternatives that did not pass through
+// Evaluate (the initial mapping, chiefly).
+func (e *Engine) count(n int64) { e.evals.Add(n) }
+
+// Emit delivers a progress event to the Solve caller's observer, filling
+// in the cumulative counters. Callbacks are serialized; a nil observer
+// makes Emit free.
+func (e *Engine) Emit(ev Event) {
+	if e.progress == nil {
+		return
+	}
+	ev.Evaluations = e.evals.Load()
+	ev.CacheHits = e.hits.Load()
+	e.mu.Lock()
+	e.progress(ev)
+	e.mu.Unlock()
+}
+
+// Evaluate schedules the current application with the given design
+// decisions on a worker-local clone of the frozen base and scores the
+// result. It reports ok=false when the design is infeasible (requirement
+// (a) rules it out). Identical (mapping, hints) pairs are served from the
+// memo without rescheduling. Safe for concurrent use.
+func (e *Engine) Evaluate(mapping model.Mapping, hints sched.Hints) (metrics.Report, bool) {
+	e.evals.Add(1)
+	var key string
+	if e.cache != nil {
+		key = e.evalKey(mapping, hints)
+		if ent, ok := e.cache.get(key); ok {
+			e.hits.Add(1)
+			return ent.rep, ent.ok
+		}
+	}
+	scr, _ := e.scratch.Get().(*sched.State)
+	scr = e.p.Base.CloneInto(scr)
+	var ent cacheEntry
+	if err := scr.ScheduleApp(e.p.Current, mapping, hints); err == nil {
+		ent = cacheEntry{rep: metrics.Evaluate(scr, e.p.Profile, e.p.Weights), ok: true}
+	}
+	e.scratch.Put(scr)
+	if e.cache != nil {
+		e.cache.put(key, ent)
+	}
+	return ent.rep, ent.ok
+}
+
+// Materialize rebuilds the full schedule state of a design alternative
+// that Evaluate found feasible. Strategies call it once per accepted
+// move, so the fan-out path never has to retain candidate states.
+func (e *Engine) Materialize(mapping model.Mapping, hints sched.Hints) (*sched.State, metrics.Report, error) {
+	return e.p.evaluate(mapping, hints)
+}
+
+// ForEach runs fn(0..n-1) across the engine's worker pool and returns
+// when every started call has finished. Work is handed out dynamically;
+// once ctx is cancelled no further indices are started (in-flight calls
+// run to completion, so fn should check ctx itself when an item is
+// long-running). No goroutines outlive the call.
+func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int)) {
+	workers := e.parallelism
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// evalKey encodes (mapping, hints) into the canonical memo key: for every
+// process of the current application (ascending ID) its node and start
+// hint, then for every message its start hint. Absent hints encode as -1.
+// The key is exact — no hashing — so a memo hit can never return the
+// report of a different design.
+func (e *Engine) evalKey(mapping model.Mapping, hints sched.Hints) string {
+	buf := make([]byte, 0, (2*len(e.procIDs)+len(e.msgIDs))*8)
+	var b [8]byte
+	put := func(v int64) {
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		buf = append(buf, b[:]...)
+	}
+	for _, id := range e.procIDs {
+		put(int64(mapping[id]))
+		if off, ok := hints.ProcStart[id]; ok {
+			put(int64(off))
+		} else {
+			put(-1)
+		}
+	}
+	for _, id := range e.msgIDs {
+		if off, ok := hints.MsgStart[id]; ok {
+			put(int64(off))
+		} else {
+			put(-1)
+		}
+	}
+	return string(buf)
+}
+
+// cacheEntry is one memoized evaluation outcome.
+type cacheEntry struct {
+	rep metrics.Report
+	ok  bool
+}
+
+// evalCache memoizes evaluation outcomes up to a fixed entry count.
+// Insertion simply stops at capacity: strategies revisit recent designs
+// (SA late in cooling, MH undo-moves), so keeping the earliest entries is
+// close enough to LRU at a fraction of the bookkeeping.
+type evalCache struct {
+	mu  sync.RWMutex
+	max int
+	m   map[string]cacheEntry
+}
+
+func (c *evalCache) get(key string) (cacheEntry, bool) {
+	c.mu.RLock()
+	ent, ok := c.m[key]
+	c.mu.RUnlock()
+	return ent, ok
+}
+
+func (c *evalCache) put(key string, ent cacheEntry) {
+	c.mu.Lock()
+	if len(c.m) < c.max {
+		c.m[key] = ent
+	}
+	c.mu.Unlock()
+}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"sort"
-	"time"
 
 	"incdes/internal/metrics"
 	"incdes/internal/model"
@@ -11,9 +12,11 @@ import (
 	"incdes/internal/tm"
 )
 
-// MHOptions tune the mapping heuristic. The zero value selects defaults
-// sized like the paper's: a small set of high-potential candidates per
-// iteration, so MH stays orders of magnitude cheaper than annealing.
+// MHOptions tune the mapping heuristic. Every zero-valued tuning field
+// selects the corresponding DefaultMHOptions value — defaults sized like
+// the paper's: a small set of high-potential candidates per iteration,
+// so MH stays orders of magnitude cheaper than annealing. Boolean
+// ablation switches and SeedHints are used as given.
 type MHOptions struct {
 	// MaxIterations bounds the improvement loop (default 50).
 	MaxIterations int
@@ -50,124 +53,189 @@ type MHOptions struct {
 	SeedHints sched.Hints
 }
 
-func (o MHOptions) withDefaults() MHOptions {
+// DefaultMHOptions returns the paper-sized mapping-heuristic tuning: 50
+// improvement iterations over 5 process and 4 message candidates, 2
+// slack targets per node, the current node plus the 3 slackest
+// alternatives per process, and any strict objective improvement
+// accepted.
+func DefaultMHOptions() MHOptions {
+	return MHOptions{
+		MaxIterations:  50,
+		ProcCandidates: 5,
+		TargetsPerNode: 2,
+		MsgCandidates:  4,
+		MsgTargets:     2,
+		TargetNodes:    3,
+		MinImprovement: 1e-9,
+	}
+}
+
+// normalized resolves the documented zero-value semantics against
+// DefaultMHOptions.
+func (o MHOptions) normalized() MHOptions {
+	d := DefaultMHOptions()
 	if o.MaxIterations == 0 {
-		o.MaxIterations = 50
+		o.MaxIterations = d.MaxIterations
 	}
 	if o.ProcCandidates == 0 {
-		o.ProcCandidates = 5
+		o.ProcCandidates = d.ProcCandidates
 	}
 	if o.TargetsPerNode == 0 {
-		o.TargetsPerNode = 2
+		o.TargetsPerNode = d.TargetsPerNode
 	}
 	if o.MsgCandidates == 0 {
-		o.MsgCandidates = 4
+		o.MsgCandidates = d.MsgCandidates
 	}
 	if o.MsgTargets == 0 {
-		o.MsgTargets = 2
+		o.MsgTargets = d.MsgTargets
 	}
 	if o.MinImprovement == 0 {
-		o.MinImprovement = 1e-9
+		o.MinImprovement = d.MinImprovement
 	}
 	if o.TargetNodes == 0 {
-		o.TargetNodes = 3
+		o.TargetNodes = d.TargetNodes
 	}
 	return o
 }
 
-// MappingHeuristic is the MH strategy: start from the initial mapping,
-// then repeatedly apply the single design transformation that improves
-// the objective most, examining only the transformations with the highest
+// candidate is one design alternative of an MH iteration.
+type candidate struct {
+	mapping model.Mapping
+	hints   sched.Hints
+}
+
+// mhStrategy is the MH strategy: start from the initial mapping, then
+// repeatedly apply the single design transformation that improves the
+// objective most, examining only the transformations with the highest
 // potential — processes bordering the smallest slack fragments (moving
 // them merges slack) and messages in the most congested slot occurrences.
-func MappingHeuristic(p *Problem, opts MHOptions) (*Solution, error) {
-	o := opts.withDefaults()
-	start := time.Now()
+//
+// Each iteration enumerates its candidate set up front, fans the
+// evaluations across the engine's workers, and then reduces the results
+// in enumeration order — which makes the outcome identical to the serial
+// first-improvement scan at every parallelism level.
+type mhStrategy struct{ opts MHOptions }
+
+func (mhStrategy) Name() string { return "MH" }
+
+// enumerate builds the iteration's candidate set from the current design.
+func (s mhStrategy) enumerate(eng *Engine, ix *model.Index, st *sched.State,
+	mapping model.Mapping, hints sched.Hints, o MHOptions) []candidate {
+
+	p := eng.Problem()
+	var cs []candidate
+
+	// Process moves: candidate x (node, slack position). Candidates
+	// come from two potential sources: processes bordering the
+	// smallest slack fragments (criterion 1) and processes inside the
+	// tightest Tmin windows (criterion 2).
+	cands := procCandidates(st, p.Current, ix, o.ProcCandidates, o.RandomCandidates)
+	cands = mergeCandidates(cands,
+		windowCandidates(st, p.Current, p.Profile.Tmin, 1), o.ProcCandidates+len(p.Sys.Arch.Nodes))
+	for _, cand := range cands {
+		proc := ix.Proc[cand]
+		g := ix.GraphOf[cand]
+		for _, node := range targetNodes(st, proc, mapping[cand], o.TargetNodes) {
+			offs := targetOffsets(st, node, proc.WCET[node], g.Period, p.Profile.Tmin, o.TargetsPerNode)
+			for _, off := range offs {
+				if node == mapping[cand] && hints.ProcStart[cand] == off {
+					continue // the current design, not a move
+				}
+				nm := mapping.Clone()
+				nm[cand] = node
+				cs = append(cs, candidate{mapping: nm, hints: hints.SetProcStart(cand, off)})
+			}
+		}
+	}
+
+	// Message moves: candidate x later slot occurrence.
+	if !o.DisableMsgMoves {
+		for _, mc := range msgCandidates(st, p.Current, o.MsgCandidates) {
+			g := ix.MsgGraph[mc.id]
+			for _, off := range msgTargetOffsets(st, mc, g.Period, o.MsgTargets) {
+				if hints.MsgStart[mc.id] == off {
+					continue
+				}
+				cs = append(cs, candidate{mapping: mapping, hints: hints.SetMsgStart(mc.id, off)})
+			}
+		}
+	}
+	return cs
+}
+
+func (s mhStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
+	p := eng.Problem()
+	o := s.opts.normalized()
 
 	mapping, st, err := p.initial(o.SeedHints)
 	if err != nil {
 		return nil, err
 	}
 	hints := o.SeedHints.Clone()
+	eng.count(1)
 	report := metrics.Evaluate(st, p.Profile, p.Weights)
-	evals := 1
 	ix := model.NewIndex(p.Current)
 
-	for iter := 0; iter < o.MaxIterations; iter++ {
-		type alternative struct {
-			mapping model.Mapping
-			hints   sched.Hints
-			st      *sched.State
-			report  metrics.Report
+	// better reports whether a is a strict improvement over b: lower
+	// objective, or — when several bottleneck windows tie and the
+	// min-based objective is flat — equal objective with a strictly
+	// higher periodic fill.
+	better := func(a, b metrics.Report) bool {
+		if a.Objective < b.Objective-o.MinImprovement {
+			return true
 		}
-		var best *alternative
+		return a.Objective < b.Objective+o.MinImprovement &&
+			a.PeriodicFill > b.PeriodicFill+0.5
+	}
 
-		// better reports whether a is a strict improvement over b: lower
-		// objective, or — when several bottleneck windows tie and the
-		// min-based objective is flat — equal objective with a strictly
-		// higher periodic fill.
-		better := func(a, b metrics.Report) bool {
-			if a.Objective < b.Objective-o.MinImprovement {
-				return true
-			}
-			return a.Objective < b.Objective+o.MinImprovement &&
-				a.PeriodicFill > b.PeriodicFill+0.5
+	interrupted := false
+	for iter := 0; iter < o.MaxIterations; iter++ {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
 		}
-		consider := func(nm model.Mapping, nh sched.Hints) {
-			st2, rep2, err := p.evaluate(nm, nh)
-			evals++
-			if err != nil {
-				return // invalid design alternative: requirement (a) rules it out
+		cands := s.enumerate(eng, ix, st, mapping, hints, o)
+
+		type outcome struct {
+			report metrics.Report
+			ok     bool
+		}
+		results := make([]outcome, len(cands))
+		eng.ForEach(ctx, len(cands), func(i int) {
+			results[i].report, results[i].ok = eng.Evaluate(cands[i].mapping, cands[i].hints)
+		})
+		if ctx.Err() != nil {
+			// A partial candidate scan must not steer the search: keep
+			// the last fully evaluated design as the best-so-far result.
+			interrupted = true
+			break
+		}
+
+		// Reduce in enumeration order, exactly like the serial
+		// first-improvement scan.
+		bestIdx := -1
+		var bestRep metrics.Report
+		for i, r := range results {
+			if !r.ok {
+				continue // infeasible: requirement (a) rules it out
 			}
 			ref := report
-			if best != nil {
-				ref = best.report
+			if bestIdx >= 0 {
+				ref = bestRep
 			}
-			if better(rep2, ref) {
-				best = &alternative{mapping: nm, hints: nh, st: st2, report: rep2}
-			}
-		}
-
-		// Process moves: candidate x (node, slack position). Candidates
-		// come from two potential sources: processes bordering the
-		// smallest slack fragments (criterion 1) and processes inside the
-		// tightest Tmin windows (criterion 2).
-		cands := procCandidates(st, p.Current, ix, o.ProcCandidates, o.RandomCandidates)
-		cands = mergeCandidates(cands,
-			windowCandidates(st, p.Current, p.Profile.Tmin, 1), o.ProcCandidates+len(p.Sys.Arch.Nodes))
-		for _, cand := range cands {
-			proc := ix.Proc[cand]
-			g := ix.GraphOf[cand]
-			for _, node := range targetNodes(st, proc, mapping[cand], o.TargetNodes) {
-				offs := targetOffsets(st, node, proc.WCET[node], g.Period, p.Profile.Tmin, o.TargetsPerNode)
-				for _, off := range offs {
-					if node == mapping[cand] && hints.ProcStart[cand] == off {
-						continue // the current design, not a move
-					}
-					nm := mapping.Clone()
-					nm[cand] = node
-					consider(nm, hints.SetProcStart(cand, off))
-				}
+			if better(r.report, ref) {
+				bestIdx, bestRep = i, r.report
 			}
 		}
-
-		// Message moves: candidate x later slot occurrence.
-		if !o.DisableMsgMoves {
-			for _, mc := range msgCandidates(st, p.Current, o.MsgCandidates) {
-				g := ix.MsgGraph[mc.id]
-				for _, off := range msgTargetOffsets(st, mc, g.Period, o.MsgTargets) {
-					if hints.MsgStart[mc.id] == off {
-						continue
-					}
-					consider(mapping, hints.SetMsgStart(mc.id, off))
-				}
-			}
-		}
-
-		if best == nil {
+		if bestIdx < 0 {
 			break // local optimum: no examined transformation improves C
 		}
-		mapping, hints, st, report = best.mapping, best.hints, best.st, best.report
+		mapping, hints = cands[bestIdx].mapping, cands[bestIdx].hints
+		st, report, err = eng.Materialize(mapping, hints)
+		if err != nil {
+			return nil, fmt.Errorf("core: internal: winning alternative failed to re-schedule: %w", err)
+		}
+		eng.Emit(Event{Strategy: "MH", Iteration: iter + 1, BestObjective: report.Objective})
 	}
 
 	return &Solution{
@@ -176,9 +244,15 @@ func MappingHeuristic(p *Problem, opts MHOptions) (*Solution, error) {
 		Hints:       hints,
 		State:       st,
 		Report:      report,
-		Elapsed:     time.Since(start),
-		Evaluations: evals,
+		Interrupted: interrupted,
 	}, nil
+}
+
+// MappingHeuristic runs the MH strategy serially.
+//
+// Deprecated: use Solve(ctx, p, Options{Strategy: MHWith(opts)}).
+func MappingHeuristic(p *Problem, opts MHOptions) (*Solution, error) {
+	return Solve(context.Background(), p, Options{Strategy: MHWith(opts), Parallelism: 1})
 }
 
 // targetNodes selects the processors worth trying for a candidate

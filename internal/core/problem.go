@@ -13,18 +13,28 @@
 //
 // Three strategies are provided, exactly as evaluated in the paper:
 //
-//   - AdHoc (AH): the initial mapping alone — the Heterogeneous Critical
-//     Path list mapper optimizing only for performance. The baseline with
+//   - AH: the initial mapping alone — the Heterogeneous Critical Path
+//     list mapper optimizing only for performance. The baseline with
 //     "little support for incremental design".
-//   - MappingHeuristic (MH): iterative improvement that examines only the
-//     design transformations with the highest potential — moving a
-//     process into a different slack on the same or a different
-//     processor, or moving a message into a different slack on the bus.
-//   - Anneal (SA): simulated annealing over the same move set, run long
-//     enough to serve as the near-optimal reference.
+//   - MH: iterative improvement that examines only the design
+//     transformations with the highest potential — moving a process into
+//     a different slack on the same or a different processor, or moving
+//     a message into a different slack on the bus.
+//   - SA: simulated annealing over the same move set, run long enough to
+//     serve as the near-optimal reference.
+//
+// All strategies run through the single entry point Solve, which adds
+// parallel candidate evaluation, an evaluation memo, context
+// cancellation with best-so-far results, and progress reporting:
+//
+//	sol, err := core.Solve(ctx, p, core.Options{Strategy: core.MH, Parallelism: 4})
+//
+// The pre-redesign entry points AdHoc, MappingHeuristic and Anneal
+// remain as thin deprecated wrappers around Solve.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -90,8 +100,17 @@ type Solution struct {
 	Elapsed  time.Duration
 	// Evaluations counts the design alternatives examined (each one is a
 	// full re-schedule of the current application plus a metric
-	// evaluation); it is the strategy's cost measure alongside Elapsed.
+	// evaluation, unless served from the evaluation memo); it is the
+	// strategy's cost measure alongside Elapsed.
 	Evaluations int
+	// CacheHits is how many of those evaluations the memo served without
+	// rescheduling. Informational: it may vary between runs (workers race
+	// to fill entries) even though the solution never does.
+	CacheHits int
+	// Interrupted reports that the Solve context was cancelled and the
+	// solution is the best design found up to that point rather than the
+	// strategy's natural result.
+	Interrupted bool
 }
 
 // Objective returns the solution's objective value C.
@@ -119,21 +138,37 @@ func (p *Problem) initial(hints sched.Hints) (model.Mapping, *sched.State, error
 	return mapping, st, nil
 }
 
-// AdHoc is the AH strategy: construct the initial mapping and stop. It
-// optimizes the current application's finish times and ignores the future.
-func AdHoc(p *Problem) (*Solution, error) {
-	start := time.Now()
+// ahStrategy is the AH baseline: construct the initial mapping and stop.
+// It optimizes the current application's finish times and ignores the
+// future.
+type ahStrategy struct{}
+
+func (ahStrategy) Name() string { return "AH" }
+
+func (ahStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	p := eng.Problem()
 	mapping, st, err := p.initial(sched.Hints{})
 	if err != nil {
 		return nil, err
 	}
+	eng.count(1)
+	rep := metrics.Evaluate(st, p.Profile, p.Weights)
+	eng.Emit(Event{Strategy: "AH", BestObjective: rep.Objective})
 	return &Solution{
-		Strategy:    "AH",
-		Mapping:     mapping,
-		Hints:       sched.Hints{},
-		State:       st,
-		Report:      metrics.Evaluate(st, p.Profile, p.Weights),
-		Elapsed:     time.Since(start),
-		Evaluations: 1,
+		Strategy: "AH",
+		Mapping:  mapping,
+		Hints:    sched.Hints{},
+		State:    st,
+		Report:   rep,
 	}, nil
+}
+
+// AdHoc runs the AH baseline.
+//
+// Deprecated: use Solve(ctx, p, Options{Strategy: AH}).
+func AdHoc(p *Problem) (*Solution, error) {
+	return Solve(context.Background(), p, Options{Strategy: AH, Parallelism: 1})
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -61,23 +62,41 @@ type RelaxedSolution struct {
 	Subsets int
 }
 
-// RelaxedOptions tune SolveRelaxed.
+// RelaxedOptions tune SolveRelaxed. Zero-valued fields select the
+// corresponding DefaultRelaxedOptions value.
 type RelaxedOptions struct {
-	// MH tunes the mapping heuristic used for the current application.
+	// MH tunes the mapping heuristic used for the current application
+	// (zero fields follow the MHOptions zero-value semantics).
 	MH MHOptions
-	// MaxSubsets bounds the number of modification subsets tried
-	// (default 64). Subsets are tried in increasing total cost, so the
+	// MaxSubsets bounds the number of modification subsets tried (0
+	// selects 64). Subsets are tried in increasing total cost, so the
 	// first feasible subset found is cost-minimal among those examined.
 	MaxSubsets int
+	// Parallelism is handed to the embedded Solve calls (0 uses one
+	// worker per CPU).
+	Parallelism int
 }
 
-// SolveRelaxed finds a minimum-modification-cost design: it enumerates
-// subsets of existing applications in increasing total cost (the empty
-// subset — the pure incremental case — first); for each subset it freezes
-// the others, places the current application with the mapping heuristic,
-// and then re-places the modified applications. The first subset that
-// yields a fully valid design wins.
+// DefaultRelaxedOptions returns the explicit defaults of SolveRelaxed.
+func DefaultRelaxedOptions() RelaxedOptions {
+	return RelaxedOptions{MH: DefaultMHOptions(), MaxSubsets: 64}
+}
+
+// SolveRelaxed finds a minimum-modification-cost design.
+//
+// Deprecated: use SolveRelaxedContext, which supports cancellation.
 func SolveRelaxed(rp *RelaxedProblem, opts RelaxedOptions) (*RelaxedSolution, error) {
+	return SolveRelaxedContext(context.Background(), rp, opts)
+}
+
+// SolveRelaxedContext finds a minimum-modification-cost design: it
+// enumerates subsets of existing applications in increasing total cost
+// (the empty subset — the pure incremental case — first); for each
+// subset it freezes the others, places the current application with the
+// mapping heuristic, and then re-places the modified applications. The
+// first subset that yields a fully valid design wins. Cancelling ctx
+// aborts the subset scan with the context's error.
+func SolveRelaxedContext(ctx context.Context, rp *RelaxedProblem, opts RelaxedOptions) (*RelaxedSolution, error) {
 	start := time.Now()
 	if opts.MaxSubsets == 0 {
 		opts.MaxSubsets = 64
@@ -90,8 +109,11 @@ func SolveRelaxed(rp *RelaxedProblem, opts RelaxedOptions) (*RelaxedSolution, er
 	tried := 0
 	var lastErr error
 	for _, sub := range subsets {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		tried++
-		sol, err := rp.trySubset(sub, opts)
+		sol, err := rp.trySubset(ctx, sub, opts)
 		if err != nil {
 			lastErr = err
 			continue
@@ -109,7 +131,7 @@ func SolveRelaxed(rp *RelaxedProblem, opts RelaxedOptions) (*RelaxedSolution, er
 // trySubset keeps every existing application outside the subset in its
 // shipped position (copied from Base), places the current application,
 // then re-places the modified ones from scratch.
-func (rp *RelaxedProblem) trySubset(modify map[model.AppID]bool, opts RelaxedOptions) (*RelaxedSolution, error) {
+func (rp *RelaxedProblem) trySubset(ctx context.Context, modify map[model.AppID]bool, opts RelaxedOptions) (*RelaxedSolution, error) {
 	st, err := sched.Restrict(rp.Base, rp.Sys, func(id model.AppID) bool { return !modify[id] })
 	if err != nil {
 		return nil, err
@@ -120,7 +142,10 @@ func (rp *RelaxedProblem) trySubset(modify map[model.AppID]bool, opts RelaxedOpt
 	if err != nil {
 		return nil, err
 	}
-	sol, err := MappingHeuristic(p, opts.MH)
+	sol, err := Solve(ctx, p, Options{
+		Strategy:    MHWith(opts.MH),
+		Parallelism: opts.Parallelism,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,9 +1,10 @@
 package core
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
-	"time"
 
 	"incdes/internal/metrics"
 	"incdes/internal/model"
@@ -11,32 +12,57 @@ import (
 	"incdes/internal/tm"
 )
 
-// SAOptions tune the simulated annealing reference strategy.
+// SAOptions tune the simulated annealing reference strategy. Seed is
+// used exactly as given — 0 is a valid seed (the pre-redesign Anneal
+// entry point silently rewrote 0 to 1 and still does, for
+// compatibility); the remaining zero values select the documented
+// defaults below.
 type SAOptions struct {
-	// Seed drives the annealer's random walk (default 1).
+	// Seed drives the annealer's random walk. Restart chain 0 uses Seed
+	// verbatim; chain k derives its independent stream from (Seed, k),
+	// so results are reproducible at any parallelism.
 	Seed int64
-	// Iterations is the total number of evaluated neighbors. The default
-	// scales with the application size: 60 per process, at least 3000 —
+	// Iterations is the number of evaluated neighbors per restart chain.
+	// 0 auto-sizes with the application: 60 per process, at least 3000 —
 	// enough to serve as the near-optimal reference the deviations in
 	// the paper's first experiment are measured against.
 	Iterations int
-	// InitialTemp is the starting temperature in objective units
-	// (default 40: early on, moves ~40 objective points uphill are
+	// Restarts is the number of independent annealing chains; the best
+	// chain result wins (ties break toward the lowest chain index). The
+	// chains are what Solve fans across workers. 0 means 1.
+	Restarts int
+	// InitialTemp is the starting temperature in objective units (0
+	// selects 40: early on, moves ~40 objective points uphill are
 	// frequently accepted).
 	InitialTemp float64
-	// FinalTemp ends the geometric cooling (default 0.1).
+	// FinalTemp ends the geometric cooling (0 selects 0.1).
 	FinalTemp float64
 }
 
-func (o SAOptions) withDefaults(nProcs int) SAOptions {
-	if o.Seed == 0 {
-		o.Seed = 1
+// DefaultSAOptions returns the paper-shaped annealing configuration:
+// seed 1, a single restart chain, auto-sized iterations (the documented
+// meaning of 0), and the 40 → 0.1 geometric cooling schedule.
+func DefaultSAOptions() SAOptions {
+	return SAOptions{
+		Seed:        1,
+		Iterations:  0, // auto-size: 60 per process, at least 3000
+		Restarts:    1,
+		InitialTemp: 40,
+		FinalTemp:   0.1,
 	}
+}
+
+// normalized resolves the documented zero-value semantics. Seed is
+// deliberately left untouched.
+func (o SAOptions) normalized(nProcs int) SAOptions {
 	if o.Iterations == 0 {
 		o.Iterations = 60 * nProcs
 		if o.Iterations < 3000 {
 			o.Iterations = 3000
 		}
+	}
+	if o.Restarts == 0 {
+		o.Restarts = 1
 	}
 	if o.InitialTemp == 0 {
 		o.InitialTemp = 40
@@ -47,33 +73,58 @@ func (o SAOptions) withDefaults(nProcs int) SAOptions {
 	return o
 }
 
-// Anneal is the SA strategy: simulated annealing over the full design
+// chainSeed derives the RNG seed of restart chain c. Chain 0 uses the
+// caller's seed verbatim so a single-chain run reproduces the
+// pre-redesign Anneal walk bit for bit; higher chains get independent
+// streams through a splitmix64 finalizer.
+func chainSeed(seed int64, c int) int64 {
+	if c == 0 {
+		return seed
+	}
+	x := uint64(seed) + uint64(c)*0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return int64(x)
+}
+
+// saStrategy is the SA strategy: simulated annealing over the full design
 // space of the current application — remapping processes, moving
 // processes between slacks, and moving messages between slot occurrences
 // — minimizing the objective C. With default options it is far slower
-// than MH and serves as the near-optimal reference.
-func Anneal(p *Problem, opts SAOptions) (*Solution, error) {
-	o := opts.withDefaults(p.Current.NumProcs())
-	start := time.Now()
-	rng := rand.New(rand.NewSource(o.Seed))
+// than MH and serves as the near-optimal reference. Restart chains run
+// concurrently across the engine's workers; every chain is a
+// deterministic function of (problem, options, chain index), so the
+// reduced result is identical at any parallelism.
+type saStrategy struct{ opts SAOptions }
 
-	mapping, st, err := p.initial(sched.Hints{})
+func (saStrategy) Name() string { return "SA" }
+
+// chainResult is the outcome of one restart chain.
+type chainResult struct {
+	ran         bool
+	interrupted bool
+	mapping     model.Mapping
+	hints       sched.Hints
+	report      metrics.Report
+	state       *sched.State
+	err         error
+}
+
+func (s saStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
+	p := eng.Problem()
+	o := s.opts.normalized(p.Current.NumProcs())
+
+	mapping0, st0, err := p.initial(sched.Hints{})
 	if err != nil {
 		return nil, err
 	}
-	hints := sched.Hints{}
-	report := metrics.Evaluate(st, p.Profile, p.Weights)
-	evals := 1
+	eng.count(1)
+	report0 := metrics.Evaluate(st0, p.Profile, p.Weights)
 
-	best := &Solution{
-		Strategy: "SA",
-		Mapping:  mapping.Clone(),
-		Hints:    hints.Clone(),
-		State:    st,
-		Report:   report,
-	}
-
-	// Collect the movable objects once.
+	// Collect the movable objects once; chains share them read-only.
 	ix := model.NewIndex(p.Current)
 	var procs []*model.Process
 	var msgs []*model.Message
@@ -82,33 +133,121 @@ func Anneal(p *Problem, opts SAOptions) (*Solution, error) {
 		msgs = append(msgs, g.Msgs...)
 	}
 
-	cur := report.Objective
+	chains := make([]chainResult, o.Restarts)
+	eng.ForEach(ctx, o.Restarts, func(c int) {
+		chains[c] = s.runChain(ctx, eng, c, o, ix, procs, msgs, mapping0, report0, st0)
+	})
+
+	// Reduce: best objective wins, ties break toward the lowest chain
+	// index — a deterministic order however the chains were scheduled.
+	best := -1
+	interrupted := ctx.Err() != nil
+	for c := range chains {
+		if chains[c].err != nil {
+			return nil, chains[c].err
+		}
+		if !chains[c].ran {
+			continue
+		}
+		interrupted = interrupted || chains[c].interrupted
+		if best < 0 || chains[c].report.Objective < chains[best].report.Objective {
+			best = c
+		}
+	}
+	if best < 0 {
+		// Cancelled before any chain started: the initial mapping is the
+		// best design seen.
+		return &Solution{
+			Strategy: "SA", Mapping: mapping0, Hints: sched.Hints{},
+			State: st0, Report: report0, Interrupted: true,
+		}, nil
+	}
+	win := chains[best]
+	eng.Emit(Event{Strategy: "SA", Chain: best, BestObjective: win.report.Objective})
+	return &Solution{
+		Strategy:    "SA",
+		Mapping:     win.mapping,
+		Hints:       win.hints,
+		State:       win.state,
+		Report:      win.report,
+		Interrupted: interrupted,
+	}, nil
+}
+
+// runChain executes one annealing chain. The walk reproduces the
+// pre-redesign serial annealer exactly: one RNG drives both neighbor
+// generation and acceptance, the temperature cools geometrically per
+// evaluated neighbor, and infeasible neighbors consume an iteration.
+func (s saStrategy) runChain(ctx context.Context, eng *Engine, c int, o SAOptions,
+	ix *model.Index, procs []*model.Process, msgs []*model.Message,
+	mapping0 model.Mapping, report0 metrics.Report, st0 *sched.State) chainResult {
+
+	p := eng.Problem()
+	rng := rand.New(rand.NewSource(chainSeed(o.Seed, c)))
+
+	mapping := mapping0
+	hints := sched.Hints{}
+	res := chainResult{
+		ran:     true,
+		mapping: mapping0,
+		hints:   sched.Hints{},
+		report:  report0,
+	}
+	improved := false
+
+	cur := report0.Objective
 	temp := o.InitialTemp
 	cooling := math.Pow(o.FinalTemp/o.InitialTemp, 1/float64(o.Iterations))
 
 	for i := 0; i < o.Iterations; i++ {
+		if ctx.Err() != nil {
+			res.interrupted = true
+			break
+		}
 		nm, nh := neighbor(rng, p, ix, procs, msgs, mapping, hints)
-		st2, rep2, err := p.evaluate(nm, nh)
-		evals++
+		rep2, ok := eng.Evaluate(nm, nh)
 		temp *= cooling
-		if err != nil {
+		if !ok {
 			continue // infeasible neighbor
 		}
 		delta := rep2.Objective - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
 			mapping, hints, cur = nm, nh, rep2.Objective
-			if rep2.Objective < best.Report.Objective {
-				best.Mapping = nm.Clone()
-				best.Hints = nh.Clone()
-				best.State = st2
-				best.Report = rep2
+			if rep2.Objective < res.report.Objective {
+				res.mapping = nm.Clone()
+				res.hints = nh.Clone()
+				res.report = rep2
+				improved = true
 			}
+		}
+		if (i+1)%1000 == 0 {
+			eng.Emit(Event{Strategy: "SA", Chain: c, Iteration: i + 1, BestObjective: res.report.Objective})
 		}
 	}
 
-	best.Elapsed = time.Since(start)
-	best.Evaluations = evals
-	return best, nil
+	if !improved {
+		res.state = st0
+		return res
+	}
+	st, rep, err := eng.Materialize(res.mapping, res.hints)
+	if err != nil {
+		res.err = fmt.Errorf("core: internal: chain %d best failed to re-schedule: %w", c, err)
+		return res
+	}
+	res.state, res.report = st, rep
+	return res
+}
+
+// Anneal runs a single serial annealing chain.
+//
+// Deprecated: use Solve(ctx, p, Options{Strategy: SAWith(opts)}). Anneal
+// keeps the historical quirk of treating Seed 0 as 1.
+func Anneal(p *Problem, opts SAOptions) (*Solution, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	opts.Restarts = 1
+	return Solve(context.Background(), p, Options{Strategy: SAWith(opts), Parallelism: 1})
 }
 
 // neighbor produces a random design transformation: remap a process

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"time"
+)
+
+// Strategy is one mapping strategy, runnable through Solve. The built-in
+// strategies are AH, MH and SA (optionally configured via MHWith and
+// SAWith); custom strategies can be implemented on top of the Engine's
+// Evaluate/Materialize/ForEach primitives and inherit parallel
+// evaluation, caching, cancellation and progress reporting for free.
+type Strategy interface {
+	// Name is the short tag recorded in Solution.Strategy.
+	Name() string
+	// Run maps the problem's current application. Implementations must
+	// perform candidate evaluations through the engine, honor ctx by
+	// returning their best-so-far solution (marked Interrupted) when it
+	// is cancelled, and must not read wall-clock time — Solve measures
+	// Elapsed around Run so results are pure functions of
+	// (problem, options).
+	Run(ctx context.Context, eng *Engine) (*Solution, error)
+}
+
+// Predefined strategies with the paper's default tuning.
+var (
+	// AH is the ad-hoc baseline: the initial mapping alone.
+	AH Strategy = ahStrategy{}
+	// MH is the mapping heuristic with DefaultMHOptions.
+	MH Strategy = MHWith(MHOptions{})
+	// SA is the annealing reference with DefaultSAOptions.
+	SA Strategy = SAWith(DefaultSAOptions())
+)
+
+// MHWith returns the mapping heuristic configured with opts. Zero-valued
+// tuning fields select the corresponding DefaultMHOptions value (see the
+// MHOptions field docs); boolean ablation switches and SeedHints are used
+// as given.
+func MHWith(opts MHOptions) Strategy { return mhStrategy{opts: opts} }
+
+// SAWith returns the annealing strategy configured with opts. Seed is
+// used exactly as given (0 is a valid seed); the remaining zero values
+// select the documented defaults (see the SAOptions field docs).
+func SAWith(opts SAOptions) Strategy { return saStrategy{opts: opts} }
+
+// DefaultCacheSize is the evaluation-memo capacity Solve uses when
+// Options.CacheSize is 0.
+const DefaultCacheSize = 1 << 14
+
+// Options configure one Solve call. The zero value of every field except
+// Strategy is meaningful and documented on the field; DefaultOptions
+// returns the fully explicit defaults.
+type Options struct {
+	// Strategy selects the mapping strategy (required). Use AH, MH, SA,
+	// or a configured MHWith/SAWith value.
+	Strategy Strategy
+	// Parallelism is the evaluation worker count: MH fans its
+	// per-iteration candidate set across this many workers, SA its
+	// restart chains. 0 uses one worker per CPU (GOMAXPROCS); 1 runs
+	// strictly serially. Results are identical at every setting.
+	Parallelism int
+	// Progress, when non-nil, observes strategy progress. Callbacks are
+	// serialized but may originate from worker goroutines; they must be
+	// fast and must not call back into the engine.
+	Progress func(Event)
+	// CacheSize bounds the evaluation memo in entries. 0 selects
+	// DefaultCacheSize; negative disables the memo.
+	CacheSize int
+}
+
+// DefaultOptions returns the explicit defaults Solve would resolve the
+// zero-valued fields to (with MH as the strategy).
+func DefaultOptions() Options {
+	return Options{
+		Strategy:    MH,
+		Parallelism: defaultParallelism(),
+		CacheSize:   DefaultCacheSize,
+	}
+}
+
+func defaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
+// Event is one progress observation delivered to Options.Progress.
+type Event struct {
+	// Strategy is the tag of the strategy that made progress.
+	Strategy string
+	// Chain is the SA restart chain the event belongs to (0 otherwise).
+	Chain int
+	// Iteration counts strategy iterations: MH improvement steps or
+	// chain-local SA steps.
+	Iteration int
+	// Evaluations and CacheHits are the engine's cumulative counters at
+	// the time of the event.
+	Evaluations int64
+	CacheHits   int64
+	// BestObjective is the emitter's best objective value C so far.
+	BestObjective float64
+}
+
+// Solve runs a strategy on a problem: the single entry point behind
+// which every strategy is parallel, cancellable and observable.
+//
+// When ctx is cancelled (deadline or Ctrl-C translated into a context),
+// Solve returns the best solution found so far with Solution.Interrupted
+// set and a nil error; only cancellation before any feasible design was
+// evaluated returns the context's error. Solutions are deterministic:
+// for a fixed problem and options, every parallelism level and cache
+// size yields a byte-identical Report (cancellation timing excepted).
+func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
+	if opts.Strategy == nil {
+		return nil, errors.New("core: Options.Strategy is nil")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	start := time.Now()
+	eng := newEngine(p, opts)
+	sol, err := opts.Strategy.Run(ctx, eng)
+	if err != nil {
+		return nil, err
+	}
+	sol.Elapsed = time.Since(start)
+	sol.Evaluations = int(eng.Evaluations())
+	sol.CacheHits = int(eng.CacheHits())
+	return sol, nil
+}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -26,7 +27,8 @@ type AblationResult struct {
 // RunAblation quantifies MH's two design choices on one sweep size
 // (the first entry of Options.Sizes): message moves, and potential-based
 // candidate selection. Each variant runs on the same test cases.
-func RunAblation(o Options) (*AblationResult, error) {
+// Cancelling ctx aborts the sweep with the context's error.
+func RunAblation(ctx context.Context, o Options) (*AblationResult, error) {
 	o = o.withDefaults()
 	size := o.Sizes[0]
 	variants := []struct {
@@ -43,12 +45,15 @@ func RunAblation(o Options) (*AblationResult, error) {
 		sums[i].Variant = v.name
 	}
 	for c := 0; c < o.Cases; c++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		p, err := makeProblem(o, size, c)
 		if err != nil {
 			return nil, err
 		}
 		for i, v := range variants {
-			sol, err := core.MappingHeuristic(p, v.opts)
+			sol, err := o.solve(ctx, p, core.MHWith(v.opts))
 			if err != nil {
 				return nil, fmt.Errorf("eval: %s on case %d: %w", v.name, c, err)
 			}

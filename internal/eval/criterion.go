@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"incdes/internal/core"
@@ -35,8 +36,9 @@ type CriterionResult struct {
 // objective, with only the slack-clustering terms (C1), and with only the
 // periodic-slack terms (C2); every variant's design is then judged by the
 // full objective and by concrete future applications. The first entry of
-// Options.Sizes selects the sweep point.
-func RunCriterionAblation(o Options) (*CriterionResult, error) {
+// Options.Sizes selects the sweep point. Cancelling ctx aborts the sweep
+// with the context's error.
+func RunCriterionAblation(ctx context.Context, o Options) (*CriterionResult, error) {
 	o = o.withDefaults()
 	size := o.Sizes[0]
 	res := &CriterionResult{Size: size, Cases: o.Cases}
@@ -63,7 +65,7 @@ func RunCriterionAblation(o Options) (*CriterionResult, error) {
 		obj   []float64
 	}
 	outs := make([]caseOut, o.Cases)
-	err := o.forEachCase(func(c int) error {
+	err := o.forEachCase(ctx, func(c int) error {
 		outs[c].fit = make([]int, len(variants))
 		outs[c].obj = make([]float64, len(variants))
 		tc, err := gen.MakeTestCase(o.Config, o.caseSeed(size, c), o.Existing, size)
@@ -77,7 +79,7 @@ func RunCriterionAblation(o Options) (*CriterionResult, error) {
 			if err != nil {
 				return err
 			}
-			sol, err := core.MappingHeuristic(p, o.MHOptions)
+			sol, err := o.solve(ctx, p, core.MHWith(o.MHOptions))
 			if err != nil {
 				return fmt.Errorf("eval: %s on case %d: %w", v.name, c, err)
 			}

@@ -14,6 +14,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -55,6 +56,11 @@ type Options struct {
 	// runtimes matter (the paper's second figure): concurrent cases
 	// contend for cores and inflate wall-clock times.
 	Parallel int
+	// StrategyParallel is the evaluation parallelism handed to
+	// core.Solve within each case (default 1 for the same reason as
+	// Parallel; <= 0 uses one worker per CPU). Solutions are identical
+	// at any setting — only runtimes change.
+	StrategyParallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -84,16 +90,30 @@ func (o Options) withDefaults() Options {
 	} else if o.Parallel < 0 {
 		o.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if o.StrategyParallel == 0 {
+		o.StrategyParallel = 1
+	} else if o.StrategyParallel < 0 {
+		o.StrategyParallel = runtime.GOMAXPROCS(0)
+	}
+	// The runners predate the Solve redesign and still treat seed 0 as
+	// "the default seed"; resolve it here so sweeps stay reproducible.
+	if o.SAOptions.Seed == 0 {
+		o.SAOptions.Seed = 1
+	}
 	return o
 }
 
 // forEachCase runs fn for every case index, o.Parallel at a time, and
 // returns the first error. fn must be independent across cases (each
 // case derives everything from its own seed), so the aggregate result is
-// identical whatever the parallelism.
-func (o Options) forEachCase(fn func(c int) error) error {
+// identical whatever the parallelism. Cancelling ctx stops new cases
+// from starting.
+func (o Options) forEachCase(ctx context.Context, fn func(c int) error) error {
 	if o.Parallel <= 1 {
 		for c := 0; c < o.Cases; c++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(c); err != nil {
 				return err
 			}
@@ -109,6 +129,10 @@ func (o Options) forEachCase(fn func(c int) error) error {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[c] = err
+				return
+			}
 			errs[c] = fn(c)
 		}(c)
 	}
@@ -119,6 +143,24 @@ func (o Options) forEachCase(fn func(c int) error) error {
 		}
 	}
 	return nil
+}
+
+// solve runs one strategy through core.Solve with the sweep's strategy
+// parallelism. An interrupted (best-so-far) solution is reported as the
+// context's error: a half-finished strategy run would corrupt the
+// aggregate figures.
+func (o Options) solve(ctx context.Context, p *core.Problem, strat core.Strategy) (*core.Solution, error) {
+	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: o.StrategyParallel})
+	if err != nil {
+		return nil, err
+	}
+	if sol.Interrupted {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, context.Canceled
+	}
+	return sol, nil
 }
 
 func (o Options) logf(format string, args ...interface{}) {
@@ -160,7 +202,8 @@ type DeviationResult struct {
 // RunDeviation executes the paper's first and second experiments: for
 // every current-application size it generates test cases, runs AH, MH and
 // SA on each, and aggregates objective deviations and runtimes.
-func RunDeviation(o Options) (*DeviationResult, error) {
+// Cancelling ctx aborts the sweep with the context's error.
+func RunDeviation(ctx context.Context, o Options) (*DeviationResult, error) {
 	o = o.withDefaults()
 	res := &DeviationResult{}
 	for _, size := range o.Sizes {
@@ -168,20 +211,20 @@ func RunDeviation(o Options) (*DeviationResult, error) {
 		type caseOut struct{ ah, mh, sa *core.Solution }
 		outs := make([]caseOut, o.Cases)
 		size := size
-		err := o.forEachCase(func(c int) error {
+		err := o.forEachCase(ctx, func(c int) error {
 			p, err := makeProblem(o, size, c)
 			if err != nil {
 				return err
 			}
-			ah, err := core.AdHoc(p)
+			ah, err := o.solve(ctx, p, core.AH)
 			if err != nil {
 				return fmt.Errorf("eval: AH on size %d case %d: %w", size, c, err)
 			}
-			mh, err := core.MappingHeuristic(p, o.MHOptions)
+			mh, err := o.solve(ctx, p, core.MHWith(o.MHOptions))
 			if err != nil {
 				return fmt.Errorf("eval: MH on size %d case %d: %w", size, c, err)
 			}
-			sa, err := core.Anneal(p, o.SAOptions)
+			sa, err := o.solve(ctx, p, core.SAWith(o.SAOptions))
 			if err != nil {
 				return fmt.Errorf("eval: SA on size %d case %d: %w", size, c, err)
 			}

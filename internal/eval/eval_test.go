@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -29,7 +30,7 @@ func smallOptions() Options {
 }
 
 func TestRunDeviation(t *testing.T) {
-	res, err := RunDeviation(smallOptions())
+	res, err := RunDeviation(context.Background(), smallOptions())
 	if err != nil {
 		t.Fatalf("RunDeviation: %v", err)
 	}
@@ -79,7 +80,7 @@ func TestDeviationRendering(t *testing.T) {
 func TestRunFutureFit(t *testing.T) {
 	o := smallOptions()
 	o.Sizes = []int{20}
-	res, err := RunFutureFit(o)
+	res, err := RunFutureFit(context.Background(), o)
 	if err != nil {
 		t.Fatalf("RunFutureFit: %v", err)
 	}
@@ -99,7 +100,7 @@ func TestRunFutureFit(t *testing.T) {
 func TestRunAblation(t *testing.T) {
 	o := smallOptions()
 	o.Sizes = []int{25}
-	res, err := RunAblation(o)
+	res, err := RunAblation(context.Background(), o)
 	if err != nil {
 		t.Fatalf("RunAblation: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestProgressLogging(t *testing.T) {
 	o.Sizes = []int{15}
 	o.Cases = 1
 	o.Progress = &sb
-	if _, err := RunDeviation(o); err != nil {
+	if _, err := RunDeviation(context.Background(), o); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(sb.String(), "size 15") {
@@ -135,7 +136,7 @@ func TestRunRelaxed(t *testing.T) {
 	o.Sizes = []int{20}
 	o.FutureSamples = 2
 	o.FutureProcs = 15
-	res, err := RunRelaxed(o)
+	res, err := RunRelaxed(context.Background(), o)
 	if err != nil {
 		t.Fatalf("RunRelaxed: %v", err)
 	}
@@ -158,12 +159,12 @@ func TestParallelMatchesSequential(t *testing.T) {
 	o := smallOptions()
 	o.Sizes = []int{15}
 	o.Cases = 3
-	seq, err := RunDeviation(o)
+	seq, err := RunDeviation(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
 	o.Parallel = 3
-	par, err := RunDeviation(o)
+	par, err := RunDeviation(context.Background(), o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +181,7 @@ func TestRunCriterionAblation(t *testing.T) {
 	o.Sizes = []int{25}
 	o.FutureSamples = 2
 	o.FutureProcs = 15
-	res, err := RunCriterionAblation(o)
+	res, err := RunCriterionAblation(context.Background(), o)
 	if err != nil {
 		t.Fatalf("RunCriterionAblation: %v", err)
 	}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"incdes/internal/core"
@@ -30,7 +31,8 @@ type FutureFitResult struct {
 // application is placed by AH or by MH, sample concrete future
 // applications (80 processes by default) and test whether the initial
 // mapping algorithm can still place them on what is left of the system.
-func RunFutureFit(o Options) (*FutureFitResult, error) {
+// Cancelling ctx aborts the sweep with the context's error.
+func RunFutureFit(ctx context.Context, o Options) (*FutureFitResult, error) {
 	o = o.withDefaults()
 	res := &FutureFitResult{}
 	for _, size := range o.Sizes {
@@ -38,7 +40,7 @@ func RunFutureFit(o Options) (*FutureFitResult, error) {
 		type caseOut struct{ ahOK, mhOK, tried int }
 		outs := make([]caseOut, o.Cases)
 		size := size
-		err := o.forEachCase(func(c int) error {
+		err := o.forEachCase(ctx, func(c int) error {
 			tc, err := gen.MakeTestCase(o.Config, o.caseSeed(size, c), o.Existing, size)
 			if err != nil {
 				return fmt.Errorf("eval: generating size %d case %d: %w", size, c, err)
@@ -48,11 +50,11 @@ func RunFutureFit(o Options) (*FutureFitResult, error) {
 			if err != nil {
 				return err
 			}
-			ah, err := core.AdHoc(p)
+			ah, err := o.solve(ctx, p, core.AH)
 			if err != nil {
 				return fmt.Errorf("eval: AH on size %d case %d: %w", size, c, err)
 			}
-			mh, err := core.MappingHeuristic(p, o.MHOptions)
+			mh, err := o.solve(ctx, p, core.MHWith(o.MHOptions))
 			if err != nil {
 				return fmt.Errorf("eval: MH on size %d case %d: %w", size, c, err)
 			}

@@ -1,6 +1,7 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
 	"incdes/internal/core"
@@ -33,9 +34,10 @@ type RelaxedResult struct {
 
 // RunRelaxed measures the engineering-change cost the two design
 // histories incur when the future arrives: each sampled future
-// application is admitted with core.SolveRelaxed, where modifying an
-// existing application costs its size in processes.
-func RunRelaxed(o Options) (*RelaxedResult, error) {
+// application is admitted with core.SolveRelaxedContext, where modifying
+// an existing application costs its size in processes. Cancelling ctx
+// aborts the sweep with the context's error.
+func RunRelaxed(ctx context.Context, o Options) (*RelaxedResult, error) {
 	o = o.withDefaults()
 	res := &RelaxedResult{}
 	for _, size := range o.Sizes {
@@ -47,7 +49,7 @@ func RunRelaxed(o Options) (*RelaxedResult, error) {
 		}
 		outs := make([]caseOut, o.Cases)
 		size := size
-		err := o.forEachCase(func(c int) error {
+		err := o.forEachCase(ctx, func(c int) error {
 			tc, err := gen.MakeTestCase(o.Config, o.caseSeed(size, c), o.Existing, size)
 			if err != nil {
 				return fmt.Errorf("eval: generating size %d case %d: %w", size, c, err)
@@ -57,11 +59,11 @@ func RunRelaxed(o Options) (*RelaxedResult, error) {
 			if err != nil {
 				return err
 			}
-			ah, err := core.AdHoc(p)
+			ah, err := o.solve(ctx, p, core.AH)
 			if err != nil {
 				return err
 			}
-			mh, err := core.MappingHeuristic(p, o.MHOptions)
+			mh, err := o.solve(ctx, p, core.MHWith(o.MHOptions))
 			if err != nil {
 				return err
 			}
@@ -78,7 +80,10 @@ func RunRelaxed(o Options) (*RelaxedResult, error) {
 					{ah, &outs[c].ahCost, &outs[c].ahFail},
 					{mh, &outs[c].mhCost, &outs[c].mhFail},
 				} {
-					cost, ok := admissionCost(tc, variant.sol, fut)
+					cost, ok := admissionCost(ctx, o, tc, variant.sol, fut)
+					if err := ctx.Err(); err != nil {
+						return err
+					}
 					if !ok {
 						*variant.fail++
 						continue
@@ -119,8 +124,9 @@ func RunRelaxed(o Options) (*RelaxedResult, error) {
 // admissionCost admits the future application on top of the given
 // solution, allowing modification of every shipped application (cost =
 // its process count), and returns the minimum modification cost found.
-// ok is false when no subset admits it.
-func admissionCost(tc *gen.TestCase, sol *core.Solution, fut *model.Application) (float64, bool) {
+// ok is false when no subset admits it (or when ctx was cancelled; the
+// caller distinguishes the two by checking ctx itself).
+func admissionCost(ctx context.Context, o Options, tc *gen.TestCase, sol *core.Solution, fut *model.Application) (float64, bool) {
 	apps := append(append([]*model.Application{}, tc.Existing...), tc.Current)
 	sys := &model.System{Arch: tc.Sys.Arch, Apps: append(append([]*model.Application{}, apps...), fut)}
 	existing := make([]core.ExistingApp, len(apps))
@@ -135,9 +141,10 @@ func admissionCost(tc *gen.TestCase, sol *core.Solution, fut *model.Application)
 		Profile:  tc.Profile,
 		Weights:  metrics.DefaultWeights(tc.Profile),
 	}
-	rsol, err := core.SolveRelaxed(rp, core.RelaxedOptions{
-		MH:         core.MHOptions{MaxIterations: 1},
-		MaxSubsets: 16,
+	rsol, err := core.SolveRelaxedContext(ctx, rp, core.RelaxedOptions{
+		MH:          core.MHOptions{MaxIterations: 1},
+		MaxSubsets:  16,
+		Parallelism: o.StrategyParallel,
 	})
 	if err != nil {
 		return 0, false
