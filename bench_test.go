@@ -26,12 +26,14 @@ package incdes_test
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 
 	"incdes/internal/core"
 	"incdes/internal/gen"
 	"incdes/internal/metrics"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 )
 
@@ -238,6 +240,44 @@ func BenchmarkSolveMHParallel(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkSolveMH is the plain-Solve baseline for the observability
+// overhead pair: one MH solve on the 160-process sweep point with no
+// observer attached. Compare against BenchmarkSolveMHObserved — the gap
+// is the full cost of the observability layer, which must stay in the
+// noise (the disabled-observer hot path is additionally pinned to zero
+// allocations by a test in internal/core).
+func BenchmarkSolveMH(b *testing.B) {
+	p := benchProblem(b, 160)
+	opts := core.Options{Strategy: core.MH, Parallelism: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Solve(context.Background(), p, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveMHObserved is the same solve with the full observability
+// layer on: a stats registry collecting every counter/timer/gauge and a
+// JSONL tracer streaming events into a discarded writer.
+func BenchmarkSolveMHObserved(b *testing.B) {
+	p := benchProblem(b, 160)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := core.Options{
+			Strategy:    core.MH,
+			Parallelism: 1,
+			Observer: &obs.Observer{
+				Stats:  obs.NewRegistry(),
+				Tracer: obs.NewJSONLWriter(io.Discard),
+			},
+		}
+		if _, err := core.Solve(context.Background(), p, opts); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"incdes/internal/core"
 	"incdes/internal/eval"
 	"incdes/internal/gen"
+	"incdes/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func main() {
 	parallel := flag.Int("parallel", 1, "concurrent test cases (use 1 for trustworthy runtime measurements; <=0 means one per CPU)")
 	stratParallel := flag.Int("strategy-parallel", 1, "evaluation workers inside each strategy run (use 1 for trustworthy runtime measurements; <=0 means one per CPU)")
 	verbose := flag.Bool("v", false, "log per-case progress to stderr")
+	statsPath := flag.String("stats-out", "", "write sweep-wide engine/scheduler/bus statistics as JSON to this file")
 	flag.Parse()
 
 	// Ctrl-C aborts the sweep: partial sweeps would misrepresent the
@@ -76,6 +78,11 @@ func main() {
 	}
 	if *verbose {
 		o.Progress = os.Stderr
+	}
+	var reg *obs.Registry
+	if *statsPath != "" {
+		reg = obs.NewRegistry()
+		o.Observer = &obs.Observer{Stats: reg}
 	}
 
 	// deviation and runtime come from the same sweep; cache it so that
@@ -145,5 +152,19 @@ func main() {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}
+	}
+	if reg != nil {
+		f, err := os.Create(*statsPath)
+		if err == nil {
+			err = reg.Snapshot().WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incbench: writing stats:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "statistics written to %s\n", *statsPath)
 	}
 }

@@ -7,6 +7,7 @@
 //	incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
 //	                [-analyze] [-export file.json] [-export-bin file.img]
 //	                [-parallel N] [-timeout D] [-sa-restarts K]
+//	                [-trace file.jsonl] [-stats-out file.json] [-convergence]
 //	incmap verify   [-sys file] [-design file.json]
 //	incmap simulate [-sys file] [-design file.json] [-seed S]
 //	                [-overrun-prob P] [-overrun-factor F]
@@ -35,6 +36,7 @@ import (
 	"incdes/internal/gen"
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 	"incdes/internal/sim"
 	"incdes/internal/textplot"
@@ -78,6 +80,7 @@ func usage() {
   incmap inspect  [-sys file]
   incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
                   [-parallel N] [-timeout D] [-sa-restarts K]
+                  [-trace file.jsonl] [-stats-out file.json] [-convergence]
   incmap verify   [-sys file] [-design file.json]
   incmap simulate [-sys file] [-design file.json] [-seed S] [-overrun-prob P]
   incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]`)
@@ -277,6 +280,9 @@ func cmdMap(args []string) error {
 	saRestarts := fs.Int("sa-restarts", 0, "independent SA restart chains (0 = 1)")
 	parallel := fs.Int("parallel", 0, "evaluation workers (0 = one per CPU)")
 	timeout := fs.Duration("timeout", 0, "abort the strategy after this long, keeping the best design so far (0 = none)")
+	tracePath := fs.String("trace", "", "write the strategy's decision-event trace as JSONL to this file")
+	statsPath := fs.String("stats-out", "", "write engine/scheduler/bus statistics as JSON to this file")
+	convergence := fs.Bool("convergence", false, "print the cost-vs-iteration convergence curve")
 	fs.Parse(args)
 
 	// Ctrl-C (or the timeout) cancels the strategy; the best design found
@@ -329,7 +335,43 @@ func cmdMap(args []string) error {
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
-	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: *parallel})
+	// Observability: -stats-out attaches a registry, -trace/-convergence a
+	// trace sink. With none of them set observer stays nil and the solve
+	// path runs exactly as uninstrumented.
+	var observer *obs.Observer
+	var reg *obs.Registry
+	var traceFile *os.File
+	var traceWriter *obs.JSONLWriter
+	var collector *obs.Collector
+	if *statsPath != "" {
+		reg = obs.NewRegistry()
+	}
+	var sinks []obs.Tracer
+	if *tracePath != "" {
+		traceFile, err = os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer traceFile.Close()
+		traceWriter = obs.NewJSONLWriter(traceFile)
+		sinks = append(sinks, traceWriter)
+	}
+	if *convergence {
+		collector = &obs.Collector{}
+		sinks = append(sinks, collector)
+	}
+	if reg != nil || len(sinks) > 0 {
+		observer = &obs.Observer{Stats: reg}
+		switch len(sinks) {
+		case 0:
+		case 1:
+			observer.Tracer = sinks[0]
+		default:
+			observer.Tracer = obs.MultiTracer(sinks...)
+		}
+	}
+
+	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: *parallel, Observer: observer})
 	if err != nil {
 		return err
 	}
@@ -345,6 +387,48 @@ func cmdMap(args []string) error {
 		sol.Strategy, current.Name, sol.Elapsed.Round(time.Millisecond), sol.Evaluations)
 	fmt.Printf("metrics: %v\n", sol.Report)
 	fmt.Printf("future profile: Tmin=%v tneed=%v bneed=%dB\n", prof.Tmin, prof.TNeed, prof.BNeedBytes)
+	if traceWriter != nil {
+		if err := traceWriter.Flush(); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		// Replay check: the trace must stand on its own, so its recorded
+		// final cost has to match the objective Solve just reported.
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		events, err := obs.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("re-reading trace: %w", err)
+		}
+		final, ok := obs.FinalCost(events)
+		if !ok || final != sol.Report.Objective {
+			return fmt.Errorf("trace %s replays to cost %.6f, solver reported %.6f", *tracePath, final, sol.Report.Objective)
+		}
+		fmt.Printf("trace written to %s (%d events; replayed final cost matches %.2f)\n",
+			*tracePath, len(events), final)
+	}
+	if collector != nil {
+		fmt.Println()
+		fmt.Print(textplot.Convergence(
+			fmt.Sprintf("objective C vs committed design (%s)", sol.Strategy),
+			obs.CostCurve(collector.Events()), 0, 0))
+	}
+	if reg != nil {
+		f, err := os.Create(*statsPath)
+		if err != nil {
+			return err
+		}
+		if err := reg.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("statistics written to %s\n", *statsPath)
+	}
 	if *gantt {
 		fmt.Println()
 		fmt.Print(textplot.Gantt(sol.State, 100))

@@ -3,13 +3,18 @@ package core
 import (
 	"context"
 	"encoding/binary"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
+	"incdes/internal/ttp"
 )
 
 // Engine is the shared evaluation machinery behind Solve: a bounded worker
@@ -31,11 +36,28 @@ type Engine struct {
 
 	// scratch holds worker-local schedule states reused across
 	// evaluations (CloneInto resets them), keeping the per-evaluation
-	// allocation cost near zero.
+	// allocation cost near zero. keys pools the memo key buffers for the
+	// same reason: the cache-hit path must not allocate at all.
 	scratch sync.Pool
+	keys    sync.Pool
 
 	evals atomic.Int64
 	hits  atomic.Int64
+
+	// Observability (see package obs). The instruments are resolved once
+	// here and called unconditionally on the hot path; with no observer
+	// attached every one of them is a nil no-op and tracer is nil, so the
+	// layer costs one nil check per event — "free when off".
+	observer    *obs.Observer
+	tracer      obs.Tracer
+	statsOn     bool
+	cEvals      *obs.Counter
+	cHits       *obs.Counter
+	cMisses     *obs.Counter
+	cInfeasible *obs.Counter
+	tBusy       *obs.Timer
+	schedStats  sched.Stats
+	ttpStats    ttp.Stats
 
 	// procIDs and msgIDs of the current application in sorted order:
 	// the canonical field order of the evaluation-memo key.
@@ -45,6 +67,10 @@ type Engine struct {
 	mu sync.Mutex // serializes Progress callbacks
 }
 
+// keyBuf is a pooled evaluation-memo key buffer. Pooling a pointer (not
+// the slice itself) keeps the sync.Pool round-trip allocation-free.
+type keyBuf struct{ b []byte }
+
 // newEngine assembles the engine for one Solve call. opts must already be
 // resolved (non-nil strategy; parallelism and cache size may still carry
 // their documented zero values, which are resolved here).
@@ -53,6 +79,7 @@ func newEngine(p *Problem, opts Options) *Engine {
 		p:           p,
 		parallelism: opts.Parallelism,
 		progress:    opts.Progress,
+		observer:    opts.Observer,
 	}
 	if e.parallelism <= 0 {
 		e.parallelism = defaultParallelism()
@@ -63,6 +90,21 @@ func newEngine(p *Problem, opts Options) *Engine {
 	}
 	if size > 0 {
 		e.cache = &evalCache{max: size, m: make(map[string]cacheEntry)}
+	}
+	reg := opts.Observer.Registry()
+	if opts.Observer != nil {
+		e.tracer = opts.Observer.Tracer
+	}
+	if reg != nil {
+		e.statsOn = true
+		e.cEvals = reg.Counter(obs.CtrEvaluations)
+		e.cHits = reg.Counter(obs.CtrCacheHits)
+		e.cMisses = reg.Counter(obs.CtrCacheMisses)
+		e.cInfeasible = reg.Counter(obs.CtrInfeasible)
+		e.tBusy = reg.Timer(obs.TmrWorkerBusy)
+		e.schedStats = sched.StatsFrom(reg)
+		e.ttpStats = ttp.StatsFrom(reg)
+		reg.Gauge(obs.GagWorkers).Set(int64(e.parallelism))
 	}
 	for _, g := range p.Current.Graphs {
 		for _, pr := range g.Procs {
@@ -91,9 +133,31 @@ func (e *Engine) Evaluations() int64 { return e.evals.Load() }
 // an entry, so it can vary across runs even though results never do.
 func (e *Engine) CacheHits() int64 { return e.hits.Load() }
 
+// Stats returns the registry of the Solve call's observer, nil when the
+// call carries none. Strategies resolve their instruments from it once
+// per run; a nil registry yields nil (no-op) instruments.
+func (e *Engine) Stats() *obs.Registry { return e.observer.Registry() }
+
+// Tracing reports whether a trace sink is attached, so emitters can skip
+// building events entirely when tracing is off.
+func (e *Engine) Tracing() bool { return e.tracer != nil }
+
+// Trace delivers one structured event to the Solve call's trace sink.
+// Free (a nil check) when no tracer is attached. Strategies must call it
+// only from deterministic serialization points — never concurrently from
+// workers — so the event stream is identical at every parallelism level.
+func (e *Engine) Trace(ev obs.TraceEvent) {
+	if e.tracer != nil {
+		e.tracer.Trace(ev)
+	}
+}
+
 // count records n examined design alternatives that did not pass through
 // Evaluate (the initial mapping, chiefly).
-func (e *Engine) count(n int64) { e.evals.Add(n) }
+func (e *Engine) count(n int64) {
+	e.evals.Add(n)
+	e.cEvals.Add(n)
+}
 
 // Emit delivers a progress event to the Solve caller's observer, filling
 // in the cumulative counters. Callbacks are serialized; a nil observer
@@ -114,25 +178,47 @@ func (e *Engine) Emit(ev Event) {
 // result. It reports ok=false when the design is infeasible (requirement
 // (a) rules it out). Identical (mapping, hints) pairs are served from the
 // memo without rescheduling. Safe for concurrent use.
+//
+// The memo-hit path performs zero allocations (pinned by a test): the key
+// is built in a pooled buffer and looked up through Go's non-allocating
+// map[string(bytes)] form.
 func (e *Engine) Evaluate(mapping model.Mapping, hints sched.Hints) (metrics.Report, bool) {
 	e.evals.Add(1)
-	var key string
+	e.cEvals.Inc()
+	var kb *keyBuf
 	if e.cache != nil {
-		key = e.evalKey(mapping, hints)
-		if ent, ok := e.cache.get(key); ok {
+		kb, _ = e.keys.Get().(*keyBuf)
+		if kb == nil {
+			kb = &keyBuf{}
+		}
+		kb.b = e.appendKey(kb.b[:0], mapping, hints)
+		if ent, ok := e.cache.get(kb.b); ok {
 			e.hits.Add(1)
+			e.cHits.Inc()
+			e.keys.Put(kb)
 			return ent.rep, ent.ok
 		}
+		e.cMisses.Inc()
 	}
 	scr, _ := e.scratch.Get().(*sched.State)
 	scr = e.p.Base.CloneInto(scr)
+	if e.statsOn {
+		// CloneInto preserves the destination's stats attachment, but a
+		// fresh scratch state (first Get) starts uninstrumented; attaching
+		// every time is two field assignments and keeps the invariant local.
+		scr.SetStats(e.schedStats)
+		scr.BusState().SetStats(e.ttpStats)
+	}
 	var ent cacheEntry
 	if err := scr.ScheduleApp(e.p.Current, mapping, hints); err == nil {
 		ent = cacheEntry{rep: metrics.Evaluate(scr, e.p.Profile, e.p.Weights), ok: true}
+	} else {
+		e.cInfeasible.Inc()
 	}
 	e.scratch.Put(scr)
 	if e.cache != nil {
-		e.cache.put(key, ent)
+		e.cache.put(kb.b, ent)
+		e.keys.Put(kb)
 	}
 	return ent.rep, ent.ok
 }
@@ -144,68 +230,100 @@ func (e *Engine) Materialize(mapping model.Mapping, hints sched.Hints) (*sched.S
 	return e.p.evaluate(mapping, hints)
 }
 
+// busyStart begins a worker busy-time measurement; the zero time means
+// "not measuring" (no observer), so the timer never reads the clock when
+// observability is off.
+func (e *Engine) busyStart() time.Time {
+	if e.tBusy == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *Engine) busyEnd(t0 time.Time) {
+	if !t0.IsZero() {
+		e.tBusy.Observe(time.Since(t0))
+	}
+}
+
 // ForEach runs fn(0..n-1) across the engine's worker pool and returns
 // when every started call has finished. Work is handed out dynamically;
 // once ctx is cancelled no further indices are started (in-flight calls
 // run to completion, so fn should check ctx itself when an item is
 // long-running). No goroutines outlive the call.
+//
+// With an observer attached, each worker goroutine runs under pprof
+// labels (incdes.worker=<index>) so CPU profiles attribute evaluation
+// time to the pool, and its busy time accumulates in the
+// core.worker_busy timer.
 func (e *Engine) ForEach(ctx context.Context, n int, fn func(i int)) {
 	workers := e.parallelism
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		t0 := e.busyStart()
 		for i := 0; i < n && ctx.Err() == nil; i++ {
 			fn(i)
 		}
+		e.busyEnd(t0)
 		return
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for ctx.Err() == nil {
-				i := int(next.Add(1)) - 1
-				if i >= n {
-					return
+			work := func(ctx context.Context) {
+				t0 := e.busyStart()
+				for ctx.Err() == nil {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						break
+					}
+					fn(i)
 				}
-				fn(i)
+				e.busyEnd(t0)
 			}
-		}()
+			if e.observer != nil {
+				pprof.Do(ctx, pprof.Labels("incdes.worker", strconv.Itoa(w)), work)
+			} else {
+				work(ctx)
+			}
+		}(w)
 	}
 	wg.Wait()
 }
 
-// evalKey encodes (mapping, hints) into the canonical memo key: for every
-// process of the current application (ascending ID) its node and start
-// hint, then for every message its start hint. Absent hints encode as -1.
-// The key is exact — no hashing — so a memo hit can never return the
-// report of a different design.
-func (e *Engine) evalKey(mapping model.Mapping, hints sched.Hints) string {
-	buf := make([]byte, 0, (2*len(e.procIDs)+len(e.msgIDs))*8)
-	var b [8]byte
-	put := func(v int64) {
-		binary.LittleEndian.PutUint64(b[:], uint64(v))
-		buf = append(buf, b[:]...)
-	}
+// appendKey encodes (mapping, hints) into the canonical memo key,
+// appending to buf: for every process of the current application
+// (ascending ID) its node and start hint, then for every message its
+// start hint. Absent hints encode as -1. The key is exact — no hashing —
+// so a memo hit can never return the report of a different design.
+func (e *Engine) appendKey(buf []byte, mapping model.Mapping, hints sched.Hints) []byte {
 	for _, id := range e.procIDs {
-		put(int64(mapping[id]))
+		buf = appendI64(buf, int64(mapping[id]))
 		if off, ok := hints.ProcStart[id]; ok {
-			put(int64(off))
+			buf = appendI64(buf, int64(off))
 		} else {
-			put(-1)
+			buf = appendI64(buf, -1)
 		}
 	}
 	for _, id := range e.msgIDs {
 		if off, ok := hints.MsgStart[id]; ok {
-			put(int64(off))
+			buf = appendI64(buf, int64(off))
 		} else {
-			put(-1)
+			buf = appendI64(buf, -1)
 		}
 	}
-	return string(buf)
+	return buf
+}
+
+func appendI64(buf []byte, v int64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(v))
+	return append(buf, b[:]...)
 }
 
 // cacheEntry is one memoized evaluation outcome.
@@ -224,17 +342,22 @@ type evalCache struct {
 	m   map[string]cacheEntry
 }
 
-func (c *evalCache) get(key string) (cacheEntry, bool) {
+// get looks key up without copying it: the map[string(bytes)] form is
+// recognized by the compiler and does not allocate, which keeps the
+// engine's memo-hit path allocation-free.
+func (c *evalCache) get(key []byte) (cacheEntry, bool) {
 	c.mu.RLock()
-	ent, ok := c.m[key]
+	ent, ok := c.m[string(key)]
 	c.mu.RUnlock()
 	return ent, ok
 }
 
-func (c *evalCache) put(key string, ent cacheEntry) {
+// put stores the outcome under a copy of key (insertion is the miss
+// path, where one small allocation is immaterial next to a re-schedule).
+func (c *evalCache) put(key []byte, ent cacheEntry) {
 	c.mu.Lock()
 	if len(c.m) < c.max {
-		c.m[key] = ent
+		c.m[string(key)] = ent
 	}
 	c.mu.Unlock()
 }

@@ -8,6 +8,7 @@ import (
 
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 	"incdes/internal/tm"
 )
@@ -176,6 +177,13 @@ func (s mhStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 	report := metrics.Evaluate(st, p.Profile, p.Weights)
 	ix := model.NewIndex(p.Current)
 
+	reg := eng.Stats()
+	cIters := reg.Counter(obs.CtrMHIterations)
+	cCands := reg.Counter(obs.CtrMHCandidates)
+	cPruned := reg.Counter(obs.CtrMHPruned)
+	cMoves := reg.Counter(obs.CtrMHMoves)
+	eng.Trace(obs.TraceEvent{Kind: "init", Strategy: "MH", Cost: report.Objective})
+
 	// better reports whether a is a strict improvement over b: lower
 	// objective, or — when several bottleneck windows tie and the
 	// min-based objective is flat — equal objective with a strictly
@@ -189,12 +197,15 @@ func (s mhStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 	}
 
 	interrupted := false
+	stop := "max-iterations"
 	for iter := 0; iter < o.MaxIterations; iter++ {
 		if ctx.Err() != nil {
-			interrupted = true
+			interrupted, stop = true, "cancelled"
 			break
 		}
 		cands := s.enumerate(eng, ix, st, mapping, hints, o)
+		cIters.Inc()
+		cCands.Add(int64(len(cands)))
 
 		type outcome struct {
 			report metrics.Report
@@ -207,15 +218,26 @@ func (s mhStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 		if ctx.Err() != nil {
 			// A partial candidate scan must not steer the search: keep
 			// the last fully evaluated design as the best-so-far result.
-			interrupted = true
+			interrupted, stop = true, "cancelled"
 			break
 		}
 
 		// Reduce in enumeration order, exactly like the serial
-		// first-improvement scan.
+		// first-improvement scan. The candidate trace events are emitted
+		// here — after the parallel fan-out has joined — in that same
+		// order, so the trace is identical at every parallelism level.
 		bestIdx := -1
 		var bestRep metrics.Report
 		for i, r := range results {
+			if !r.ok {
+				cPruned.Inc()
+			}
+			if eng.Tracing() {
+				eng.Trace(obs.TraceEvent{
+					Kind: "candidate", Iter: iter + 1, Index: i,
+					Cost: r.report.Objective, Feasible: r.ok,
+				})
+			}
 			if !r.ok {
 				continue // infeasible: requirement (a) rules it out
 			}
@@ -228,15 +250,20 @@ func (s mhStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 			}
 		}
 		if bestIdx < 0 {
-			break // local optimum: no examined transformation improves C
+			stop = "local-optimum" // no examined transformation improves C
+			break
 		}
 		mapping, hints = cands[bestIdx].mapping, cands[bestIdx].hints
 		st, report, err = eng.Materialize(mapping, hints)
 		if err != nil {
 			return nil, fmt.Errorf("core: internal: winning alternative failed to re-schedule: %w", err)
 		}
+		cMoves.Inc()
+		eng.Trace(obs.TraceEvent{Kind: "move", Iter: iter + 1, Index: bestIdx, Cost: report.Objective})
 		eng.Emit(Event{Strategy: "MH", Iteration: iter + 1, BestObjective: report.Objective})
 	}
+	eng.Trace(obs.TraceEvent{Kind: "stop", Strategy: "MH", Note: stop})
+	eng.Trace(obs.TraceEvent{Kind: "decision", Strategy: "MH", Cost: report.Objective})
 
 	return &Solution{
 		Strategy:    "MH",

@@ -42,6 +42,7 @@ import (
 	"incdes/internal/future"
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 )
 
@@ -156,6 +157,8 @@ func (ahStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 	}
 	eng.count(1)
 	rep := metrics.Evaluate(st, p.Profile, p.Weights)
+	eng.Trace(obs.TraceEvent{Kind: "init", Strategy: "AH", Cost: rep.Objective})
+	eng.Trace(obs.TraceEvent{Kind: "decision", Strategy: "AH", Cost: rep.Objective})
 	eng.Emit(Event{Strategy: "AH", BestObjective: rep.Objective})
 	return &Solution{
 		Strategy: "AH",

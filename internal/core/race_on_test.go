@@ -1,0 +1,7 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is active; its
+// instrumentation allocates, so allocation-count assertions skip.
+const raceEnabled = true

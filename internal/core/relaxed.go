@@ -9,6 +9,7 @@ import (
 	"incdes/internal/future"
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 )
 
@@ -75,6 +76,10 @@ type RelaxedOptions struct {
 	// Parallelism is handed to the embedded Solve calls (0 uses one
 	// worker per CPU).
 	Parallelism int
+	// Observer is handed to the embedded Solve calls; the
+	// core.relaxed.subsets counter additionally records how many
+	// modification subsets were tried. nil disables observability.
+	Observer *obs.Observer
 }
 
 // DefaultRelaxedOptions returns the explicit defaults of SolveRelaxed.
@@ -106,6 +111,7 @@ func SolveRelaxedContext(ctx context.Context, rp *RelaxedProblem, opts RelaxedOp
 	}
 
 	subsets := costOrderedSubsets(rp.Existing, opts.MaxSubsets)
+	cSubsets := opts.Observer.Registry().Counter(obs.CtrRelaxedSubsets)
 	tried := 0
 	var lastErr error
 	for _, sub := range subsets {
@@ -113,6 +119,7 @@ func SolveRelaxedContext(ctx context.Context, rp *RelaxedProblem, opts RelaxedOp
 			return nil, err
 		}
 		tried++
+		cSubsets.Inc()
 		sol, err := rp.trySubset(ctx, sub, opts)
 		if err != nil {
 			lastErr = err
@@ -145,6 +152,7 @@ func (rp *RelaxedProblem) trySubset(ctx context.Context, modify map[model.AppID]
 	sol, err := Solve(ctx, p, Options{
 		Strategy:    MHWith(opts.MH),
 		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
 	})
 	if err != nil {
 		return nil, err

@@ -8,6 +8,7 @@ import (
 
 	"incdes/internal/metrics"
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/sched"
 	"incdes/internal/tm"
 )
@@ -111,6 +112,17 @@ type chainResult struct {
 	report      metrics.Report
 	state       *sched.State
 	err         error
+	// events buffers the chain's trace events; Run flushes the buffers
+	// in chain-index order after the parallel fan-out has joined, so the
+	// trace is identical at every parallelism level.
+	events []obs.TraceEvent
+}
+
+// saCounters are the annealing instruments, resolved once per Run and
+// shared by every chain (atomic increments from worker goroutines are
+// safe; the totals are deterministic because each chain's walk is).
+type saCounters struct {
+	accepts, rejects, infeasible *obs.Counter
 }
 
 func (s saStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
@@ -133,22 +145,36 @@ func (s saStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 		msgs = append(msgs, g.Msgs...)
 	}
 
+	reg := eng.Stats()
+	ctr := saCounters{
+		accepts:    reg.Counter(obs.CtrSAAccepts),
+		rejects:    reg.Counter(obs.CtrSARejects),
+		infeasible: reg.Counter(obs.CtrSAInfeasible),
+	}
+	eng.Trace(obs.TraceEvent{Kind: "init", Strategy: "SA", Cost: report0.Objective})
+
 	chains := make([]chainResult, o.Restarts)
 	eng.ForEach(ctx, o.Restarts, func(c int) {
-		chains[c] = s.runChain(ctx, eng, c, o, ix, procs, msgs, mapping0, report0, st0)
+		chains[c] = s.runChain(ctx, eng, c, o, ix, procs, msgs, mapping0, report0, st0, ctr)
 	})
 
 	// Reduce: best objective wins, ties break toward the lowest chain
 	// index — a deterministic order however the chains were scheduled.
+	// The chains' buffered trace events flush here, in chain order.
+	cChains := reg.Counter(obs.CtrSAChains)
 	best := -1
 	interrupted := ctx.Err() != nil
 	for c := range chains {
 		if chains[c].err != nil {
 			return nil, chains[c].err
 		}
+		for _, ev := range chains[c].events {
+			eng.Trace(ev)
+		}
 		if !chains[c].ran {
 			continue
 		}
+		cChains.Inc()
 		interrupted = interrupted || chains[c].interrupted
 		if best < 0 || chains[c].report.Objective < chains[best].report.Objective {
 			best = c
@@ -163,6 +189,7 @@ func (s saStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 		}, nil
 	}
 	win := chains[best]
+	eng.Trace(obs.TraceEvent{Kind: "decision", Strategy: "SA", Chain: best, Cost: win.report.Objective})
 	eng.Emit(Event{Strategy: "SA", Chain: best, BestObjective: win.report.Objective})
 	return &Solution{
 		Strategy:    "SA",
@@ -180,7 +207,8 @@ func (s saStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
 // evaluated neighbor, and infeasible neighbors consume an iteration.
 func (s saStrategy) runChain(ctx context.Context, eng *Engine, c int, o SAOptions,
 	ix *model.Index, procs []*model.Process, msgs []*model.Message,
-	mapping0 model.Mapping, report0 metrics.Report, st0 *sched.State) chainResult {
+	mapping0 model.Mapping, report0 metrics.Report, st0 *sched.State,
+	ctr saCounters) chainResult {
 
 	p := eng.Problem()
 	rng := rand.New(rand.NewSource(chainSeed(o.Seed, c)))
@@ -194,10 +222,12 @@ func (s saStrategy) runChain(ctx context.Context, eng *Engine, c int, o SAOption
 		report:  report0,
 	}
 	improved := false
+	tracing := eng.Tracing()
 
 	cur := report0.Objective
 	temp := o.InitialTemp
 	cooling := math.Pow(o.FinalTemp/o.InitialTemp, 1/float64(o.Iterations))
+	var accepts, rejects int64
 
 	for i := 0; i < o.Iterations; i++ {
 		if ctx.Err() != nil {
@@ -208,33 +238,55 @@ func (s saStrategy) runChain(ctx context.Context, eng *Engine, c int, o SAOption
 		rep2, ok := eng.Evaluate(nm, nh)
 		temp *= cooling
 		if !ok {
+			ctr.infeasible.Inc()
 			continue // infeasible neighbor
 		}
 		delta := rep2.Objective - cur
 		if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+			accepts++
+			ctr.accepts.Inc()
 			mapping, hints, cur = nm, nh, rep2.Objective
 			if rep2.Objective < res.report.Objective {
 				res.mapping = nm.Clone()
 				res.hints = nh.Clone()
 				res.report = rep2
 				improved = true
+				if tracing {
+					res.events = append(res.events, obs.TraceEvent{
+						Kind: "sa.best", Chain: c, Iter: i + 1, Cost: rep2.Objective,
+					})
+				}
 			}
+		} else {
+			rejects++
+			ctr.rejects.Inc()
 		}
 		if (i+1)%1000 == 0 {
+			if tracing {
+				res.events = append(res.events, obs.TraceEvent{
+					Kind: "sa.window", Chain: c, Iter: i + 1,
+					Accepts: accepts, Rejects: rejects,
+				})
+			}
 			eng.Emit(Event{Strategy: "SA", Chain: c, Iteration: i + 1, BestObjective: res.report.Objective})
 		}
 	}
 
 	if !improved {
 		res.state = st0
-		return res
+	} else {
+		st, rep, err := eng.Materialize(res.mapping, res.hints)
+		if err != nil {
+			res.err = fmt.Errorf("core: internal: chain %d best failed to re-schedule: %w", c, err)
+			return res
+		}
+		res.state, res.report = st, rep
 	}
-	st, rep, err := eng.Materialize(res.mapping, res.hints)
-	if err != nil {
-		res.err = fmt.Errorf("core: internal: chain %d best failed to re-schedule: %w", c, err)
-		return res
+	if tracing {
+		res.events = append(res.events, obs.TraceEvent{
+			Kind: "sa.chain", Chain: c, Cost: res.report.Objective,
+		})
 	}
-	res.state, res.report = st, rep
 	return res
 }
 

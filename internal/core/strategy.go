@@ -5,6 +5,8 @@ import (
 	"errors"
 	"runtime"
 	"time"
+
+	"incdes/internal/obs"
 )
 
 // Strategy is one mapping strategy, runnable through Solve. The built-in
@@ -68,6 +70,14 @@ type Options struct {
 	// CacheSize bounds the evaluation memo in entries. 0 selects
 	// DefaultCacheSize; negative disables the memo.
 	CacheSize int
+	// Observer, when non-nil, attaches the observability layer: its
+	// Stats registry accumulates the engine/scheduler/bus counter catalog
+	// (see package obs) and its Tracer receives the structured decision
+	// event stream. nil disables the layer entirely; the hot path then
+	// performs no observability work and no allocations, and the solution
+	// is byte-identical either way — instruments never feed back into
+	// strategy decisions.
+	Observer *obs.Observer
 }
 
 // DefaultOptions returns the explicit defaults Solve would resolve the
@@ -117,6 +127,7 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	}
 	start := time.Now()
 	eng := newEngine(p, opts)
+	eng.Trace(obs.TraceEvent{Kind: "solve.start", Strategy: opts.Strategy.Name()})
 	sol, err := opts.Strategy.Run(ctx, eng)
 	if err != nil {
 		return nil, err
@@ -124,5 +135,19 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	sol.Elapsed = time.Since(start)
 	sol.Evaluations = int(eng.Evaluations())
 	sol.CacheHits = int(eng.CacheHits())
+	if reg := opts.Observer.Registry(); reg != nil && sol.State != nil {
+		// Final-design TTP slot occupancy: how much bus headroom the
+		// chosen design leaves for future applications.
+		oc := sol.State.BusState().Occupancy()
+		reg.Gauge(obs.GagTTPUsedBytes).Set(int64(oc.UsedBytes))
+		reg.Gauge(obs.GagTTPCapBytes).Set(int64(oc.CapacityBytes))
+		reg.Gauge(obs.GagTTPUsedSlots).Set(int64(oc.OccupiedSlots))
+	}
+	eng.Trace(obs.TraceEvent{
+		Kind:        "solve.done",
+		Strategy:    sol.Strategy,
+		Cost:        sol.Report.Objective,
+		Evaluations: int64(sol.Evaluations),
+	})
 	return sol, nil
 }

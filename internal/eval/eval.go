@@ -24,6 +24,7 @@ import (
 	"incdes/internal/core"
 	"incdes/internal/gen"
 	"incdes/internal/metrics"
+	"incdes/internal/obs"
 	"incdes/internal/textplot"
 )
 
@@ -61,6 +62,11 @@ type Options struct {
 	// Parallel; <= 0 uses one worker per CPU). Solutions are identical
 	// at any setting — only runtimes change.
 	StrategyParallel int
+	// Observer, when non-nil, is handed to every embedded core.Solve
+	// call, so one registry accumulates engine/scheduler/bus statistics
+	// over the whole sweep (incbench -stats-out exports it). Attach a
+	// Tracer only for single-case debugging: cases share the sink.
+	Observer *obs.Observer
 }
 
 func (o Options) withDefaults() Options {
@@ -150,7 +156,7 @@ func (o Options) forEachCase(ctx context.Context, fn func(c int) error) error {
 // context's error: a half-finished strategy run would corrupt the
 // aggregate figures.
 func (o Options) solve(ctx context.Context, p *core.Problem, strat core.Strategy) (*core.Solution, error) {
-	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: o.StrategyParallel})
+	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: o.StrategyParallel, Observer: o.Observer})
 	if err != nil {
 		return nil, err
 	}

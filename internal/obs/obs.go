@@ -1,0 +1,288 @@
+// Package obs is the engine's zero-dependency observability layer:
+// typed atomic counters, gauges and timers behind a Registry, plus a
+// structured trace sink (see trace.go) that records per-iteration
+// strategy decisions as JSONL.
+//
+// The design rule is "free when off": every instrument is a pointer
+// whose methods are nil-safe no-ops, so instrumented code resolves its
+// instruments once (from a possibly-nil Registry) and then calls
+// Add/Set/Observe unconditionally on the hot path. With no registry
+// attached the whole layer costs one nil check per event and performs
+// zero allocations — the property the engine's AllocsPerRun guard test
+// pins down.
+//
+// Canonical instrument names are declared here so that every package —
+// core, sched, ttp, the commands — agrees on the counter catalog that
+// Snapshot exports.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Canonical instrument names: the counter catalog (see DESIGN.md
+// "Observability"). Counters unless noted otherwise.
+const (
+	// Engine (internal/core).
+	CtrEvaluations = "core.evaluations"  // design alternatives examined
+	CtrCacheHits   = "core.cache_hits"   // evaluations served from the memo
+	CtrCacheMisses = "core.cache_misses" // evaluations that ran the scheduler
+	CtrInfeasible  = "core.infeasible"   // evaluations ruled out by requirement (a)
+	TmrWorkerBusy  = "core.worker_busy"  // timer: cumulative worker busy time
+	GagWorkers     = "core.workers"      // gauge: resolved parallelism of the last Solve
+
+	// Mapping heuristic.
+	CtrMHIterations = "core.mh.iterations" // improvement iterations run
+	CtrMHCandidates = "core.mh.candidates" // design transformations examined
+	CtrMHPruned     = "core.mh.pruned"     // candidates pruned as infeasible
+	CtrMHMoves      = "core.mh.moves"      // transformations applied
+
+	// Simulated annealing.
+	CtrSAChains     = "core.sa.chains"     // restart chains run
+	CtrSAAccepts    = "core.sa.accepts"    // neighbors accepted (downhill or Metropolis)
+	CtrSARejects    = "core.sa.rejects"    // feasible neighbors rejected
+	CtrSAInfeasible = "core.sa.infeasible" // infeasible neighbors drawn
+
+	// Relaxed (CODES 2001) solver.
+	CtrRelaxedSubsets = "core.relaxed.subsets" // modification subsets tried
+
+	// Static cyclic scheduler (internal/sched).
+	CtrSchedCalls    = "sched.schedule_calls" // ScheduleApp invocations
+	CtrSchedJobs     = "sched.jobs_placed"    // process occurrences placed
+	CtrSchedMsgs     = "sched.msgs_placed"    // message occurrences placed
+	CtrSchedFailures = "sched.failures"       // ScheduleApp calls that failed
+
+	// TTP bus (internal/ttp).
+	CtrTTPFindSlot = "ttp.findslot_calls" // FindSlot invocations
+	CtrTTPProbes   = "ttp.slot_probes"    // slot occurrences examined by FindSlot
+	CtrTTPReserve  = "ttp.reservations"   // successful slot reservations
+
+	// Final-design TTP slot occupancy (gauges, set once per Solve).
+	GagTTPUsedBytes = "ttp.slot_used_bytes"     // reserved bytes over the horizon
+	GagTTPCapBytes  = "ttp.slot_capacity_bytes" // total slot capacity over the horizon
+	GagTTPUsedSlots = "ttp.slots_occupied"      // slot occurrences carrying >= 1 byte
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; a nil *Counter is a valid sink whose methods do
+// nothing, which is what makes disabled instrumentation free.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Load returns the current value; 0 on a nil counter.
+func (c *Counter) Load() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic last-value instrument. Nil-safe like Counter.
+type Gauge struct{ v atomic.Int64 }
+
+// Set records the value. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Max raises the gauge to v if v is larger. No-op on a nil gauge.
+func (g *Gauge) Max(v int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Load returns the current value; 0 on a nil gauge.
+func (g *Gauge) Load() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Timer accumulates elapsed wall-clock time. Nil-safe like Counter.
+// Timers feed statistics only — never strategy decisions, which must
+// stay pure functions of (problem, options).
+type Timer struct{ ns atomic.Int64 }
+
+// Observe adds one measured duration. No-op on a nil timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t != nil {
+		t.ns.Add(int64(d))
+	}
+}
+
+// Total returns the accumulated time; 0 on a nil timer.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Registry owns named instruments. Lookups create on demand, so the
+// instrumented code does not need registration order; repeated lookups
+// of one name return the same instrument. A nil *Registry is a valid
+// "observability off" registry: every lookup returns a nil instrument.
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it if needed. A nil
+// registry returns a nil (no-op) counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it if needed. A nil registry
+// returns a nil (no-op) gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Timer returns the named timer, creating it if needed. A nil registry
+// returns a nil (no-op) timer.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Snapshot is a point-in-time export of every instrument in a registry.
+// Timers are exported in nanoseconds so the document stays pure JSON
+// numbers.
+type Snapshot struct {
+	Counters map[string]int64 `json:"counters"`
+	Gauges   map[string]int64 `json:"gauges,omitempty"`
+	TimersNS map[string]int64 `json:"timers_ns,omitempty"`
+}
+
+// Snapshot exports the current value of every instrument. A nil
+// registry yields an empty snapshot. The export is not atomic across
+// instruments — counters may advance between reads — which is fine for
+// the statistics use it serves.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Load()
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]int64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.Load()
+		}
+	}
+	if len(r.timers) > 0 {
+		s.TimersNS = make(map[string]int64, len(r.timers))
+		for name, t := range r.timers {
+			s.TimersNS[name] = int64(t.Total())
+		}
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON. Go's encoder emits
+// map keys in sorted order, so the document is deterministic for a
+// given set of values.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Names returns the sorted counter names present in the snapshot;
+// convenient for tests and report code.
+func (s Snapshot) Names() []string {
+	names := make([]string, 0, len(s.Counters))
+	for n := range s.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Observer bundles the two observability sinks a Solve call can carry:
+// a Registry for counters/gauges/timers and a Tracer for the structured
+// per-iteration event stream. Either field may be nil; a nil *Observer
+// disables the layer entirely.
+type Observer struct {
+	Stats  *Registry
+	Tracer Tracer
+}
+
+// Registry returns the observer's registry, nil when o is nil: the
+// lookup helper instrumented code uses so it never branches on o.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.Stats
+}

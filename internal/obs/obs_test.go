@@ -1,0 +1,160 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInstrumentsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Load() != 0 {
+		t.Error("nil counter loaded non-zero")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Max(9)
+	if g.Load() != 0 {
+		t.Error("nil gauge loaded non-zero")
+	}
+	var tr *Timer
+	tr.Observe(time.Second)
+	if tr.Total() != 0 {
+		t.Error("nil timer loaded non-zero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Timer("x") != nil {
+		t.Error("nil registry returned a live instrument")
+	}
+	if s := r.Snapshot(); len(s.Counters) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+	var o *Observer
+	if o.Registry() != nil {
+		t.Error("nil observer returned a registry")
+	}
+}
+
+// TestNilInstrumentZeroAlloc pins the "free when off" property at the
+// instrument level: driving nil instruments performs no allocations.
+func TestNilInstrumentZeroAlloc(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	allocs := testing.AllocsPerRun(200, func() {
+		c.Add(1)
+		g.Max(3)
+	})
+	if allocs != 0 {
+		t.Errorf("nil instruments allocated %.1f times per op", allocs)
+	}
+}
+
+func TestRegistryIdentityAndConcurrency(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Fatal("repeated lookup returned distinct counters")
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("hits").Inc()
+				r.Gauge("depth").Max(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Load(); got != 8000 {
+		t.Errorf("hits = %d, want 8000", got)
+	}
+	if got := r.Gauge("depth").Load(); got != 999 {
+		t.Errorf("depth = %d, want 999", got)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CtrEvaluations).Add(42)
+	r.Gauge(GagTTPUsedBytes).Set(128)
+	r.Timer(TmrWorkerBusy).Observe(3 * time.Millisecond)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if back.Counters[CtrEvaluations] != 42 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	if back.Gauges[GagTTPUsedBytes] != 128 {
+		t.Errorf("gauges = %v", back.Gauges)
+	}
+	if back.TimersNS[TmrWorkerBusy] != int64(3*time.Millisecond) {
+		t.Errorf("timers = %v", back.TimersNS)
+	}
+	if names := back.Names(); len(names) != 1 || names[0] != CtrEvaluations {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestJSONLWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewJSONLWriter(&buf)
+	w.Trace(TraceEvent{Kind: "solve.start", Strategy: "MH"})
+	w.Trace(TraceEvent{Kind: "move", Iter: 1, Index: 3, Cost: 12.5})
+	w.Trace(TraceEvent{Kind: "solve.done", Strategy: "MH", Cost: 12.5, Evaluations: 9})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 3 {
+		t.Fatalf("wrote %d lines, want 3", lines)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("read %d events", len(events))
+	}
+	for i, ev := range events {
+		if ev.Seq != int64(i+1) {
+			t.Errorf("event %d seq = %d", i, ev.Seq)
+		}
+	}
+	if cost, ok := FinalCost(events); !ok || cost != 12.5 {
+		t.Errorf("FinalCost = %v, %v", cost, ok)
+	}
+	if curve := CostCurve(events); len(curve) != 1 || curve[0] != 12.5 {
+		t.Errorf("CostCurve = %v", curve)
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"kind\":\"x\"}\nnot json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}
+
+func TestMultiTracerFansOut(t *testing.T) {
+	var a, b Collector
+	m := MultiTracer(&a, &b)
+	m.Trace(TraceEvent{Kind: "init", Cost: 1})
+	m.Trace(TraceEvent{Kind: "decision", Cost: 2})
+	if len(a.Events()) != 2 || len(b.Events()) != 2 {
+		t.Fatalf("fan-out lost events: %d, %d", len(a.Events()), len(b.Events()))
+	}
+	a.Reset()
+	if len(a.Events()) != 0 {
+		t.Error("reset kept events")
+	}
+}

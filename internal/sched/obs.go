@@ -1,0 +1,38 @@
+package sched
+
+import "incdes/internal/obs"
+
+// Stats are the scheduler-side observability instruments a State
+// reports into. The zero value (all nil) disables instrumentation; see
+// package obs for the "free when off" contract.
+type Stats struct {
+	// ScheduleCalls counts ScheduleApp invocations — one per examined
+	// design alternative that was not served from the evaluation memo.
+	ScheduleCalls *obs.Counter
+	// JobsPlaced counts process occurrences inserted into node schedules.
+	JobsPlaced *obs.Counter
+	// MsgsPlaced counts message occurrences reserved on the bus.
+	MsgsPlaced *obs.Counter
+	// Failures counts ScheduleApp calls that found the design infeasible.
+	Failures *obs.Counter
+}
+
+// StatsFrom resolves the canonical scheduler instruments from a
+// registry. A nil registry yields all-nil (disabled) stats.
+func StatsFrom(r *obs.Registry) Stats {
+	return Stats{
+		ScheduleCalls: r.Counter(obs.CtrSchedCalls),
+		JobsPlaced:    r.Counter(obs.CtrSchedJobs),
+		MsgsPlaced:    r.Counter(obs.CtrSchedMsgs),
+		Failures:      r.Counter(obs.CtrSchedFailures),
+	}
+}
+
+// SetStats attaches observability instruments to the state. Stats are
+// sink configuration, not schedule content: Clone propagates them to
+// the copy, while CloneInto leaves the destination's attachment alone,
+// so a reused scratch state keeps its instruments while being
+// overwritten from an uninstrumented base. Bus-side instruments attach
+// separately via BusState().SetStats. Instruments never influence
+// placement decisions.
+func (s *State) SetStats(st Stats) { s.stats = st }

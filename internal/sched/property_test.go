@@ -1,0 +1,141 @@
+package sched_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+)
+
+// TestScheduleInvariants is the property-based check of the scheduler:
+// across randomized generated systems, mapping the current application
+// onto a frozen base must produce schedules where (1) no two process
+// occurrences overlap on a node, (2) every message travels in a TDMA
+// slot owned by its sender, timed exactly on the slot boundaries,
+// (3) per-slot traffic never exceeds the slot capacity and agrees with
+// the bus reservation ledger, and (4) the existing applications' entries
+// are byte-identical before and after — incremental design freezes them.
+func TestScheduleInvariants(t *testing.T) {
+	cfg := gen.Default()
+	cfg.Nodes = 4
+	cfg.GraphMinProcs = 4
+	cfg.GraphMaxProcs = 10
+	for seed := int64(1); seed <= 8; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			tc, err := gen.MakeTestCase(cfg, seed, 30, 15)
+			if err != nil {
+				t.Fatalf("generating test case: %v", err)
+			}
+			st := tc.Base.Clone()
+			baseProcs := append([]sched.ProcEntry(nil), st.ProcEntries()...)
+			baseMsgs := append([]sched.MsgEntry(nil), st.MsgEntries()...)
+
+			if _, err := st.MapApp(tc.Current, sched.Hints{}); err != nil {
+				t.Fatalf("mapping current application: %v", err)
+			}
+
+			checkNoNodeOverlap(t, st)
+			checkMsgSlotOwnership(t, st)
+			checkSlotCapacity(t, st)
+
+			// Frozen base: ScheduleApp only appends, so the pre-existing
+			// entries must survive as an untouched prefix.
+			procs, msgs := st.ProcEntries(), st.MsgEntries()
+			if len(procs) <= len(baseProcs) || len(msgs) < len(baseMsgs) {
+				t.Fatalf("mapping removed entries: %d->%d procs, %d->%d msgs",
+					len(baseProcs), len(procs), len(baseMsgs), len(msgs))
+			}
+			if !reflect.DeepEqual(baseProcs, procs[:len(baseProcs)]) {
+				t.Error("existing applications' process entries changed while mapping the current application")
+			}
+			if !reflect.DeepEqual(baseMsgs, msgs[:len(baseMsgs)]) {
+				t.Error("existing applications' message entries changed while mapping the current application")
+			}
+		})
+	}
+}
+
+func checkNoNodeOverlap(t *testing.T, st *sched.State) {
+	t.Helper()
+	horizon := st.Horizon()
+	byNode := map[model.NodeID][]sched.ProcEntry{}
+	for _, e := range st.ProcEntries() {
+		if e.Start < 0 || e.End > horizon || e.Start >= e.End {
+			t.Errorf("proc %d occ %d: bad interval [%d,%d) (horizon %d)",
+				e.Proc, e.Occ, e.Start, e.End, horizon)
+		}
+		byNode[e.Node] = append(byNode[e.Node], e)
+	}
+	for node, entries := range byNode {
+		sort.Slice(entries, func(i, j int) bool { return entries[i].Start < entries[j].Start })
+		for i := 1; i < len(entries); i++ {
+			prev, cur := entries[i-1], entries[i]
+			if cur.Start < prev.End {
+				t.Errorf("node %d: proc %d occ %d [%d,%d) overlaps proc %d occ %d [%d,%d)",
+					node, prev.Proc, prev.Occ, prev.Start, prev.End,
+					cur.Proc, cur.Occ, cur.Start, cur.End)
+			}
+		}
+	}
+}
+
+func checkMsgSlotOwnership(t *testing.T, st *sched.State) {
+	t.Helper()
+	bus := st.System().Arch.Bus
+	for _, e := range st.MsgEntries() {
+		if owner := bus.SlotOrder[e.Slot]; owner != e.Sender {
+			t.Errorf("msg %d occ %d: sent by node %d in slot %d owned by node %d",
+				e.Msg, e.Occ, e.Sender, e.Slot, owner)
+		}
+		if want := bus.SlotStart(e.Round, e.Slot); e.Start != want {
+			t.Errorf("msg %d occ %d: Start=%d, slot (%d,%d) starts at %d",
+				e.Msg, e.Occ, e.Start, e.Round, e.Slot, want)
+		}
+		if want := bus.SlotEnd(e.Round, e.Slot); e.Arrive != want {
+			t.Errorf("msg %d occ %d: Arrive=%d, slot (%d,%d) ends at %d",
+				e.Msg, e.Occ, e.Arrive, e.Round, e.Slot, want)
+		}
+		if e.Ready > e.Start {
+			t.Errorf("msg %d occ %d: ready at %d but transmitted in slot starting %d",
+				e.Msg, e.Occ, e.Ready, e.Start)
+		}
+	}
+}
+
+func checkSlotCapacity(t *testing.T, st *sched.State) {
+	t.Helper()
+	bus := st.System().Arch.Bus
+	type occ struct{ round, slot int }
+	traffic := map[occ]int{}
+	for _, e := range st.MsgEntries() {
+		if e.Bytes <= 0 {
+			t.Errorf("msg %d occ %d: non-positive payload %d", e.Msg, e.Occ, e.Bytes)
+		}
+		traffic[occ{e.Round, e.Slot}] += e.Bytes
+	}
+	bs := st.BusState()
+	for o, bytes := range traffic {
+		if cap := bus.SlotBytes[o.slot]; bytes > cap {
+			t.Errorf("slot occurrence (%d,%d): %d bytes scheduled, capacity %d",
+				o.round, o.slot, bytes, cap)
+		}
+		if used := bs.Used(o.round, o.slot); used != bytes {
+			t.Errorf("slot occurrence (%d,%d): ledger says %d bytes used, entries sum to %d",
+				o.round, o.slot, used, bytes)
+		}
+	}
+	// And the converse: the ledger holds nothing the entries don't explain.
+	for r := 0; r < bs.Rounds(); r++ {
+		for sl := 0; sl < bus.NumSlots(); sl++ {
+			if used := bs.Used(r, sl); used != traffic[occ{r, sl}] {
+				t.Errorf("slot occurrence (%d,%d): ledger %d bytes, entries %d",
+					r, sl, used, traffic[occ{r, sl}])
+			}
+		}
+	}
+}

@@ -28,6 +28,10 @@ type State struct {
 	jobEnd  map[Job]tm.Time      // finish time of each scheduled job
 	jobNode map[Job]model.NodeID // node of each scheduled job
 	mapping model.Mapping        // accumulated over all scheduled apps
+
+	// stats are optional observability sinks (see obs.go). They never
+	// influence placement decisions.
+	stats Stats
 }
 
 // NewState returns an empty schedule over the system hyperperiod.
@@ -64,6 +68,7 @@ func (s *State) Clone() *State {
 		jobEnd:  make(map[Job]tm.Time, len(s.jobEnd)),
 		jobNode: make(map[Job]model.NodeID, len(s.jobNode)),
 		mapping: s.mapping.Clone(),
+		stats:   s.stats,
 	}
 	for n, set := range s.busy {
 		c.busy[n] = set.Clone()
@@ -193,6 +198,7 @@ func (s *State) planMsg(g *model.Graph, m *model.Message, occ int, sender model.
 	if err := s.bus.Reserve(round, slot, m.Bytes); err != nil {
 		return MsgEntry{}, err
 	}
+	s.stats.MsgsPlaced.Inc()
 	bus := s.sys.Arch.Bus
 	return MsgEntry{
 		Graph: g.ID, Msg: m.ID, Occ: occ,
@@ -259,6 +265,7 @@ func (s *State) scheduleJob(app *model.Application, g *model.Graph, p *model.Pro
 	if err := s.busy[node].Insert(tm.Iv(start, start+wcet)); err != nil {
 		return fmt.Errorf("sched: internal: %w", err)
 	}
+	s.stats.JobsPlaced.Inc()
 	s.procs = append(s.procs, ProcEntry{
 		App: app.ID, Graph: g.ID, Proc: p.ID, Occ: occ,
 		Node: node, Start: start, End: start + wcet,
@@ -275,12 +282,15 @@ func (s *State) scheduleJob(app *model.Application, g *model.Graph, p *model.Pro
 // decreasing partial-critical-path priority (which respects precedence).
 // On failure the state is partially modified and must be discarded.
 func (s *State) ScheduleApp(app *model.Application, mapping model.Mapping, hints Hints) error {
+	s.stats.ScheduleCalls.Inc()
 	jobs, err := s.jobList(app)
 	if err != nil {
+		s.stats.Failures.Inc()
 		return err
 	}
 	for _, jb := range jobs {
 		if err := s.scheduleJob(app, jb.graph, jb.proc, jb.occ, mapping, hints); err != nil {
+			s.stats.Failures.Inc()
 			return err
 		}
 	}

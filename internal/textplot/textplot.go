@@ -156,6 +156,69 @@ func Table(xLabel string, xs []string, series []Series, format string) string {
 	return b.String()
 }
 
+// Convergence renders a cost-vs-iteration curve as an ASCII scatter:
+// column i shows the cost of the i-th committed design (downsampled to
+// width). Feed it obs.CostCurve(events) to visualize how a strategy run
+// converged. width and height <= 0 select 64x12.
+func Convergence(title string, costs []float64, width, height int) string {
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 12
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if len(costs) == 0 {
+		b.WriteString("(no cost samples)\n")
+		return b.String()
+	}
+	lo, hi := costs[0], costs[0]
+	for _, c := range costs {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1 // flat curve: draw everything on the top row
+	}
+	if width > len(costs) {
+		width = len(costs)
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = bytes(' ', width)
+	}
+	for col := 0; col < width; col++ {
+		// Downsample: each column shows the last sample of its index range,
+		// so the final column always carries the final cost.
+		i := (col+1)*len(costs)/width - 1
+		row := int((hi - costs[i]) / span * float64(height-1))
+		grid[row][col] = '*'
+	}
+	labelW := len(fmt.Sprintf("%.2f", hi))
+	if w := len(fmt.Sprintf("%.2f", lo)); w > labelW {
+		labelW = w
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*.2f", labelW, hi)
+		case height - 1:
+			label = fmt.Sprintf("%*.2f", labelW, lo)
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, line)
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  0%*s\n", strings.Repeat(" ", labelW), width-1, fmt.Sprintf("%d", len(costs)-1))
+	return b.String()
+}
+
 // SlackMap renders per-node slack intervals sorted by node, one line each;
 // useful when inspecting why a metric scored the way it did.
 func SlackMap(per map[model.NodeID][]tm.Interval) string {

@@ -185,7 +185,14 @@ func FuzzParse(f *testing.F) {
 		if err != nil {
 			return
 		}
-		// Anything parseable must either build or fail cleanly.
-		_, _ = file.Build("fuzz", BusConfig{SlotBytes: 16, ByteTime: 1, SlotOverhead: 4})
+		// Anything parseable must either build or fail cleanly — and
+		// whatever builds must be a valid system.
+		sys, err := file.Build("fuzz", BusConfig{SlotBytes: 16, ByteTime: 1, SlotOverhead: 4})
+		if err != nil {
+			return
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("built system fails validation: %v", err)
+		}
 	})
 }

@@ -1,0 +1,128 @@
+package ttp_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+	"incdes/internal/ttp"
+)
+
+// resv is one live reservation the test knows it holds.
+type resv struct{ round, slot, bytes int }
+
+// TestReservationInvariants drives random reservation traffic against the
+// TDMA bus ledger and checks, after every step, that the ledger never
+// over- or under-books a slot and that FindSlot only ever proposes slot
+// occurrences that are owned by the requesting node, start no earlier
+// than asked, and have the capacity it claims.
+func TestReservationInvariants(t *testing.T) {
+	bus := &model.Bus{
+		SlotOrder:    []model.NodeID{0, 1, 2},
+		SlotBytes:    []int{8, 16, 4},
+		ByteTime:     1,
+		SlotOverhead: 2,
+	}
+	horizon := bus.RoundLen() * 5
+	for seed := int64(1); seed <= 20; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			st, err := ttp.NewState(bus, horizon)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var live []resv
+			for step := 0; step < 300; step++ {
+				if len(live) == 0 || rng.Intn(3) != 0 {
+					node := model.NodeID(rng.Intn(len(bus.SlotOrder)))
+					bytes := 1 + rng.Intn(10)
+					earliest := tm.Time(rng.Int63n(int64(horizon)))
+					round, slot, ok := st.FindSlot(node, earliest, bytes, 0)
+					if !ok {
+						continue
+					}
+					if owner := bus.SlotOrder[slot]; owner != node {
+						t.Fatalf("FindSlot(node %d) returned slot %d owned by node %d", node, slot, owner)
+					}
+					if start := bus.SlotStart(round, slot); start < earliest {
+						t.Fatalf("FindSlot returned occurrence (%d,%d) starting %d, earliest was %d",
+							round, slot, start, earliest)
+					}
+					if free := st.Free(round, slot); free < bytes {
+						t.Fatalf("FindSlot returned occurrence (%d,%d) with %d free for a %d-byte request",
+							round, slot, free, bytes)
+					}
+					if err := st.Reserve(round, slot, bytes); err != nil {
+						t.Fatalf("reserving the occurrence FindSlot proposed: %v", err)
+					}
+					live = append(live, resv{round, slot, bytes})
+				} else {
+					i := rng.Intn(len(live))
+					r := live[i]
+					st.Release(r.round, r.slot, r.bytes)
+					live[i] = live[len(live)-1]
+					live = live[:len(live)-1]
+				}
+				checkLedger(t, st, bus, live)
+			}
+
+			// Over-capacity reservations must fail and leave the ledger alone.
+			for slot := range bus.SlotOrder {
+				free := st.Free(0, slot)
+				if err := st.Reserve(0, slot, free+1); err == nil {
+					t.Fatalf("slot (0,%d) with %d free accepted %d bytes", slot, free, free+1)
+				}
+			}
+			checkLedger(t, st, bus, live)
+
+			// Clone independence: mutating a copy never shows in the original.
+			before := make([]int, len(bus.SlotOrder))
+			for slot := range bus.SlotOrder {
+				before[slot] = st.Used(0, slot)
+			}
+			cl := st.Clone()
+			for slot := range bus.SlotOrder {
+				if cl.Free(0, slot) > 0 {
+					if err := cl.Reserve(0, slot, 1); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			for slot := range bus.SlotOrder {
+				if st.Used(0, slot) != before[slot] {
+					t.Fatalf("reserving in a clone changed the original at slot (0,%d)", slot)
+				}
+			}
+		})
+	}
+}
+
+// checkLedger verifies Used/Free bookkeeping against the known set of
+// live reservations in every slot occurrence.
+func checkLedger(t *testing.T, st *ttp.State, bus *model.Bus, live []resv) {
+	t.Helper()
+	want := map[[2]int]int{}
+	for _, r := range live {
+		want[[2]int{r.round, r.slot}] += r.bytes
+	}
+	for round := 0; round < st.Rounds(); round++ {
+		for slot := 0; slot < bus.NumSlots(); slot++ {
+			used := st.Used(round, slot)
+			if used != want[[2]int{round, slot}] {
+				t.Fatalf("occurrence (%d,%d): ledger says %d used, live reservations sum to %d",
+					round, slot, used, want[[2]int{round, slot}])
+			}
+			if used < 0 || used > bus.SlotBytes[slot] {
+				t.Fatalf("occurrence (%d,%d): %d bytes used, capacity %d",
+					round, slot, used, bus.SlotBytes[slot])
+			}
+			if free := st.Free(round, slot); used+free != bus.SlotBytes[slot] {
+				t.Fatalf("occurrence (%d,%d): used %d + free %d != capacity %d",
+					round, slot, used, free, bus.SlotBytes[slot])
+			}
+		}
+	}
+}

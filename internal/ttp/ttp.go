@@ -23,6 +23,10 @@ type State struct {
 	horizon tm.Time
 	rounds  int
 	used    [][]int // used[round][slot] = reserved bytes
+
+	// stats are optional observability sinks (see obs.go). They never
+	// influence reservation decisions.
+	stats Stats
 }
 
 // NewState returns an empty reservation state over the horizon.
@@ -55,7 +59,7 @@ func (s *State) Rounds() int { return s.rounds }
 // cheap by design: the mapping strategies clone the base state for every
 // what-if evaluation.
 func (s *State) Clone() *State {
-	c := &State{bus: s.bus, horizon: s.horizon, rounds: s.rounds}
+	c := &State{bus: s.bus, horizon: s.horizon, rounds: s.rounds, stats: s.stats}
 	c.used = make([][]int, len(s.used))
 	for r, row := range s.used {
 		c.used[r] = append([]int(nil), row...)
@@ -63,9 +67,10 @@ func (s *State) Clone() *State {
 	return c
 }
 
-// CopyFrom makes s an exact copy of src, reusing s's reservation matrix
-// when its shape matches. It is the allocation-free counterpart of Clone
-// for scratch states that are overwritten once per what-if evaluation.
+// CopyFrom makes s an exact copy of src's schedule content, reusing s's
+// reservation matrix when its shape matches. It is the allocation-free
+// counterpart of Clone for scratch states that are overwritten once per
+// what-if evaluation. s keeps its own stats attachment (see SetStats).
 func (s *State) CopyFrom(src *State) {
 	s.bus, s.horizon, s.rounds = src.bus, src.horizon, src.rounds
 	if len(s.used) != len(src.used) {
@@ -98,6 +103,7 @@ func (s *State) Reserve(round, slot, bytes int) error {
 			round, slot, s.Free(round, slot), bytes)
 	}
 	s.used[round][slot] += bytes
+	s.stats.Reservations.Inc()
 	return nil
 }
 
@@ -117,6 +123,7 @@ func (s *State) Release(round, slot, bytes int) {
 // round >= fromRound, and has at least bytes free. ok is false if no such
 // occurrence exists.
 func (s *State) FindSlot(node model.NodeID, earliest tm.Time, bytes, fromRound int) (round, slot int, ok bool) {
+	s.stats.FindSlotCalls.Inc()
 	slots := s.bus.SlotsOf(node)
 	if len(slots) == 0 {
 		return 0, 0, false
@@ -128,16 +135,20 @@ func (s *State) FindSlot(node model.NodeID, earliest tm.Time, bytes, fromRound i
 	if fromRound > startRound {
 		startRound = fromRound
 	}
+	probes := int64(0)
 	for r := startRound; r < s.rounds; r++ {
 		for _, sl := range slots {
+			probes++
 			if s.bus.SlotStart(r, sl) < earliest {
 				continue
 			}
 			if s.Free(r, sl) >= bytes {
+				s.stats.SlotProbes.Add(probes)
 				return r, sl, true
 			}
 		}
 	}
+	s.stats.SlotProbes.Add(probes)
 	return 0, 0, false
 }
 
