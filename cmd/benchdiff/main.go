@@ -1,0 +1,71 @@
+// Command benchdiff compares two bench reports produced by
+// `incbench -bench-out` and fails when the candidate regresses beyond a
+// threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.25] [-min-wall-ms 20] baseline.json candidate.json
+//
+// Per matched (fig, size, strategy) point, wall time may grow and
+// evaluation throughput may shrink by at most the threshold; points
+// whose baseline wall time is under the floor are skipped (they are too
+// fast to time meaningfully). Evaluation-count drift, missing points
+// and metadata mismatches are reported as notes but do not fail the
+// comparison — a changed algorithm is a review question, not a perf
+// regression.
+//
+// Exit status: 0 when no point regresses, 1 on regressions, 2 on usage
+// or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"incdes/internal/bench"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.25, "tolerated relative slowdown per point (0.25 = 25%)")
+	minWall := flag.Float64("min-wall-ms", 20, "skip timing comparison for points faster than this baseline wall time")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold T] [-min-wall-ms MS] baseline.json candidate.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	base, err := bench.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cand, err := bench.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	regs, notes := bench.Compare(base, cand, bench.CompareOptions{
+		Threshold: *threshold,
+		MinWallMS: *minWall,
+	})
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	fmt.Printf("compared %d candidate points against %s (threshold %.0f%%, floor %.0fms)\n",
+		len(cand.Points), flag.Arg(0), *threshold*100, *minWall)
+	if len(regs) == 0 {
+		fmt.Println("no perf regressions")
+		return
+	}
+	for _, d := range regs {
+		fmt.Println("REGRESSION:", d)
+	}
+	fmt.Printf("%d perf regressions beyond %.0f%%\n", len(regs), *threshold*100)
+	os.Exit(1)
+}

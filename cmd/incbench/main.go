@@ -12,6 +12,11 @@
 // The -quick flag shrinks the sweep for a fast smoke run; -cases and
 // -sizes control the full sweep (the paper used 50 cases per point —
 // expect that to take hours, exactly like the original SA reference did).
+//
+// -stats-out FILE writes the run's observability snapshot as JSON;
+// -bench-out FILE writes a perf-regression report (wall time, evals/sec
+// and cache hit rate per sweep point, plus peak RSS) that cmd/benchdiff
+// compares against a baseline. Both files are written atomically.
 package main
 
 import (
@@ -23,7 +28,9 @@ import (
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
+	"incdes/internal/bench"
 	"incdes/internal/core"
 	"incdes/internal/eval"
 	"incdes/internal/gen"
@@ -41,7 +48,9 @@ func main() {
 	stratParallel := flag.Int("strategy-parallel", 1, "evaluation workers inside each strategy run (use 1 for trustworthy runtime measurements; <=0 means one per CPU)")
 	verbose := flag.Bool("v", false, "log per-case progress to stderr")
 	statsPath := flag.String("stats-out", "", "write sweep-wide engine/scheduler/bus statistics as JSON to this file")
+	benchPath := flag.String("bench-out", "", "write a machine-readable perf baseline (BENCH_*.json) from the deviation sweep to this file")
 	flag.Parse()
+	start := time.Now()
 
 	// Ctrl-C aborts the sweep: partial sweeps would misrepresent the
 	// figures, so the runners stop with the context's error.
@@ -147,22 +156,38 @@ func main() {
 	if *fig == "all" {
 		figs = []string{"deviation", "runtime", "futurefit", "ablation", "relaxed", "criteria"}
 	}
+	if *benchPath != "" {
+		switch *fig {
+		case "deviation", "runtime", "all":
+		default:
+			fmt.Fprintf(os.Stderr, "incbench: -bench-out needs the deviation sweep; use -fig deviation, runtime or all (got %q)\n", *fig)
+			os.Exit(2)
+		}
+	}
 	for _, f := range figs {
 		if err := run(f); err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}
 	}
-	if reg != nil {
-		f, err := os.Create(*statsPath)
-		if err == nil {
-			err = reg.Snapshot().WriteJSON(f)
-			if cerr := f.Close(); err == nil {
-				err = cerr
-			}
-		}
+	if *benchPath != "" {
+		res, err := deviation() // cached: the sweep above already ran it
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "incbench: writing stats:", err)
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		rep := bench.FromDeviation(res, time.Since(start), *seed, *quick)
+		if err := rep.WriteFile(*benchPath); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "bench report written to %s (%d points)\n", *benchPath, len(rep.Points))
+	}
+	if reg != nil {
+		snap := reg.Snapshot()
+		snap.Meta = obs.NewRunMeta(start, *seed)
+		if err := snap.WriteJSONFile(*statsPath); err != nil {
+			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "statistics written to %s\n", *statsPath)

@@ -321,7 +321,9 @@ func cmdMap(args []string) error {
 		return err
 	}
 
+	runStart := time.Now()
 	var strat core.Strategy
+	var saSeed int64 // recorded in the stats meta; 0 = not seed-driven
 	switch *strategy {
 	case "ah":
 		strat = core.AH
@@ -332,6 +334,7 @@ func cmdMap(args []string) error {
 		saOpts.Iterations = *saIters
 		saOpts.Restarts = *saRestarts
 		strat = core.SAWith(saOpts)
+		saSeed = saOpts.Seed
 	default:
 		return fmt.Errorf("unknown strategy %q", *strategy)
 	}
@@ -416,15 +419,9 @@ func cmdMap(args []string) error {
 			obs.CostCurve(collector.Events()), 0, 0))
 	}
 	if reg != nil {
-		f, err := os.Create(*statsPath)
-		if err != nil {
-			return err
-		}
-		if err := reg.Snapshot().WriteJSON(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		snap := reg.Snapshot()
+		snap.Meta = obs.NewRunMeta(runStart, saSeed)
+		if err := snap.WriteJSONFile(*statsPath); err != nil {
 			return err
 		}
 		fmt.Printf("statistics written to %s\n", *statsPath)

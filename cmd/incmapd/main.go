@@ -1,0 +1,83 @@
+// Command incmapd is the long-running solve service: the engine behind
+// incmap, exposed over HTTP with live telemetry.
+//
+// Usage:
+//
+//	incmapd [-addr :8080] [-max-concurrent N] [-queue N]
+//	        [-job-timeout D] [-parallel N] [-retain N] [-pprof]
+//
+// Endpoints:
+//
+//	POST   /solve              submit a system JSON; returns the solution document
+//	POST   /solve?detach=1     submit and return 202 + job id immediately
+//	GET    /solve/{id}         job status / result
+//	DELETE /solve/{id}         cancel (the engine keeps the best design so far)
+//	GET    /solve/{id}/events  SSE stream: trace events + cost-curve points
+//	GET    /metrics            Prometheus text exposition format
+//	GET    /healthz, /readyz   liveness / readiness probes
+//	GET    /debug/pprof/       profiling (only with -pprof)
+//
+// Query parameters of /solve: strategy=ah|mh|sa, app=<name>,
+// sa-iters, sa-restarts, seed, parallel, timeout (Go duration).
+//
+// SIGINT/SIGTERM drain the server: readiness flips to 503, in-flight
+// solves are cancelled (returning best-so-far designs) and the listener
+// shuts down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"incdes/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	maxConcurrent := flag.Int("max-concurrent", 0, "solves running at once (0 = one per CPU)")
+	queue := flag.Int("queue", 16, "solves allowed to wait for a slot before 429")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "per-solve wall-clock cap (0 = none)")
+	parallel := flag.Int("parallel", 0, "evaluation workers per solve (0 = one per CPU)")
+	retain := flag.Int("retain", 64, "finished jobs kept queryable")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent: *maxConcurrent,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		Parallelism:   *parallel,
+		RetainJobs:    *retain,
+		EnablePprof:   *pprofOn,
+	})
+
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("incmapd listening on %s (pprof %v, job timeout %v)", *addr, *pprofOn, *jobTimeout)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("incmapd: %v", err)
+	case <-ctx.Done():
+	}
+	log.Print("incmapd: draining")
+	srv.Close() // cancel running solves; readiness goes 503
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "incmapd: shutdown:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"incdes/internal/eval"
+)
+
+func sampleResult() *eval.DeviationResult {
+	return &eval.DeviationResult{Rows: []eval.DevRow{
+		{
+			Size: 20, Cases: 2,
+			AHTime: 100 * time.Microsecond, MHTime: 50 * time.Millisecond, SATime: 400 * time.Millisecond,
+			AHEvals: 1, MHEvals: 500, SAEvals: 3000,
+			AHHits: 0, MHHits: 100, SAHits: 900,
+		},
+		{
+			Size: 40, Cases: 2,
+			AHTime: 200 * time.Microsecond, MHTime: 120 * time.Millisecond, SATime: 900 * time.Millisecond,
+			AHEvals: 1, MHEvals: 1200, SAEvals: 6000,
+			AHHits: 0, MHHits: 240, SAHits: 1800,
+		},
+	}}
+}
+
+func TestFromDeviationAndRoundTrip(t *testing.T) {
+	r := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+	if r.SchemaVersion != SchemaVersion || r.Fig != "deviation" || !r.Quick || r.Seed != 7 {
+		t.Fatalf("header = %+v", r)
+	}
+	if len(r.Points) != 6 {
+		t.Fatalf("points = %d, want 6", len(r.Points))
+	}
+	if r.GoVersion == "" || r.GOMAXPROCS < 1 {
+		t.Errorf("run metadata missing: %+v", r)
+	}
+	if r.PeakRSSBytes <= 0 {
+		t.Errorf("PeakRSSBytes = %d, want > 0", r.PeakRSSBytes)
+	}
+	var mh Point
+	for _, p := range r.Points {
+		if p.Size == 20 && p.Strategy == "MH" {
+			mh = p
+		}
+	}
+	if mh.WallMS != 50 {
+		t.Errorf("MH wall = %v", mh.WallMS)
+	}
+	if want := 500 / 0.05; mh.EvalsPerSec != want {
+		t.Errorf("MH evals/sec = %v, want %v", mh.EvalsPerSec, want)
+	}
+	if want := 100.0 / 500; mh.CacheHitRate != want {
+		t.Errorf("MH hit rate = %v, want %v", mh.CacheHitRate, want)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(r.Points) || back.WallMS != r.WallMS {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteFileErrorNamesPath(t *testing.T) {
+	r := FromDeviation(sampleResult(), time.Second, 1, false)
+	bad := filepath.Join(t.TempDir(), "missing", "BENCH.json")
+	err := r.WriteFile(bad)
+	if err == nil || !strings.Contains(err.Error(), bad) {
+		t.Fatalf("err = %v, want failure naming %s", err, bad)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+
+	// Identical reports: no regressions.
+	if regs, _ := Compare(base, base, CompareOptions{Threshold: 0.25}); len(regs) != 0 {
+		t.Fatalf("self-compare regressed: %v", regs)
+	}
+
+	// A 2x slowdown on a timed point regresses on both metrics.
+	slow := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+	for i := range slow.Points {
+		if slow.Points[i].Strategy == "SA" && slow.Points[i].Size == 20 {
+			slow.Points[i].WallMS *= 2
+			slow.Points[i].EvalsPerSec /= 2
+		}
+	}
+	regs, _ := Compare(base, slow, CompareOptions{Threshold: 0.25})
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want wall_ms + evals_per_sec", regs)
+	}
+	if regs[0].Key != "deviation/20/SA" || regs[0].Metric != "evals_per_sec" {
+		t.Errorf("regs[0] = %v", regs[0])
+	}
+
+	// Sub-floor points (AH in microseconds) never regress on timing.
+	noisy := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+	for i := range noisy.Points {
+		if noisy.Points[i].Strategy == "AH" {
+			noisy.Points[i].WallMS *= 10
+		}
+	}
+	if regs, _ := Compare(base, noisy, CompareOptions{Threshold: 0.25}); len(regs) != 0 {
+		t.Fatalf("sub-floor AH timing flagged: %v", regs)
+	}
+
+	// Changed work and changed seed surface as notes, not regressions.
+	drift := FromDeviation(sampleResult(), 2*time.Second, 8, true)
+	for i := range drift.Points {
+		drift.Points[i].Evaluations++
+	}
+	regs, notes := Compare(base, drift, CompareOptions{Threshold: 0.25})
+	if len(regs) != 0 {
+		t.Errorf("drift regressed: %v", regs)
+	}
+	var seedNote, evalNote bool
+	for _, n := range notes {
+		if strings.Contains(n, "seed differs") {
+			seedNote = true
+		}
+		if strings.Contains(n, "evaluations changed") {
+			evalNote = true
+		}
+	}
+	if !seedNote || !evalNote {
+		t.Errorf("notes = %v", notes)
+	}
+
+	// Missing points are reported.
+	short := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+	short.Points = short.Points[:3]
+	_, notes = Compare(base, short, CompareOptions{Threshold: 0.25})
+	var missing int
+	for _, n := range notes {
+		if strings.Contains(n, "missing from candidate") {
+			missing++
+		}
+	}
+	if missing != 3 {
+		t.Errorf("missing notes = %d, want 3 (%v)", missing, notes)
+	}
+}

@@ -198,6 +198,10 @@ type DevRow struct {
 	AHTime, MHTime, SATime time.Duration
 	// Average design alternatives examined (hardware-independent cost).
 	AHEvals, MHEvals, SAEvals float64
+	// Average evaluations served from the memo. Informational (workers
+	// race to fill entries), but stable enough to feed the bench report's
+	// cache-hit rate.
+	AHHits, MHHits, SAHits float64
 }
 
 // DeviationResult is the outcome of RunDeviation.
@@ -262,6 +266,9 @@ func RunDeviation(ctx context.Context, o Options) (*DeviationResult, error) {
 			row.AHEvals += float64(ah.Evaluations)
 			row.MHEvals += float64(mh.Evaluations)
 			row.SAEvals += float64(sa.Evaluations)
+			row.AHHits += float64(ah.CacheHits)
+			row.MHHits += float64(mh.CacheHits)
+			row.SAHits += float64(sa.CacheHits)
 		}
 		n := float64(row.Cases)
 		row.AHObj /= n
@@ -276,6 +283,9 @@ func RunDeviation(ctx context.Context, o Options) (*DeviationResult, error) {
 		row.AHEvals /= n
 		row.MHEvals /= n
 		row.SAEvals /= n
+		row.AHHits /= n
+		row.MHHits /= n
+		row.SAHits /= n
 		res.Rows = append(res.Rows, row)
 	}
 	return res, nil

@@ -18,7 +18,11 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
+	"os"
+	"path/filepath"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -67,6 +71,61 @@ const (
 	GagTTPCapBytes  = "ttp.slot_capacity_bytes" // total slot capacity over the horizon
 	GagTTPUsedSlots = "ttp.slots_occupied"      // slot occurrences carrying >= 1 byte
 )
+
+// InstrumentKind classifies a catalog instrument.
+type InstrumentKind string
+
+// The instrument kinds.
+const (
+	KindCounter InstrumentKind = "counter"
+	KindGauge   InstrumentKind = "gauge"
+	KindTimer   InstrumentKind = "timer"
+)
+
+// Instrument describes one catalog entry: its canonical name, kind, and
+// a one-line help text. Exporters (the Prometheus encoder, the serve
+// layer) render the catalog from here so names and help strings stay in
+// one place.
+type Instrument struct {
+	Name string
+	Kind InstrumentKind
+	Help string
+}
+
+// catalog is the full declared instrument set, in documentation order.
+var catalog = []Instrument{
+	{CtrEvaluations, KindCounter, "design alternatives examined"},
+	{CtrCacheHits, KindCounter, "evaluations served from the memo"},
+	{CtrCacheMisses, KindCounter, "evaluations that ran the scheduler"},
+	{CtrInfeasible, KindCounter, "evaluations ruled out by requirement (a)"},
+	{TmrWorkerBusy, KindTimer, "cumulative worker busy time"},
+	{GagWorkers, KindGauge, "resolved parallelism of the last Solve"},
+	{CtrMHIterations, KindCounter, "MH improvement iterations run"},
+	{CtrMHCandidates, KindCounter, "MH design transformations examined"},
+	{CtrMHPruned, KindCounter, "MH candidates pruned as infeasible"},
+	{CtrMHMoves, KindCounter, "MH transformations applied"},
+	{CtrSAChains, KindCounter, "SA restart chains run"},
+	{CtrSAAccepts, KindCounter, "SA neighbors accepted"},
+	{CtrSARejects, KindCounter, "SA feasible neighbors rejected"},
+	{CtrSAInfeasible, KindCounter, "SA infeasible neighbors drawn"},
+	{CtrRelaxedSubsets, KindCounter, "relaxed-solver modification subsets tried"},
+	{CtrSchedCalls, KindCounter, "ScheduleApp invocations"},
+	{CtrSchedJobs, KindCounter, "process occurrences placed"},
+	{CtrSchedMsgs, KindCounter, "message occurrences placed"},
+	{CtrSchedFailures, KindCounter, "ScheduleApp calls that failed"},
+	{CtrTTPFindSlot, KindCounter, "FindSlot invocations"},
+	{CtrTTPProbes, KindCounter, "slot occurrences examined by FindSlot"},
+	{CtrTTPReserve, KindCounter, "successful slot reservations"},
+	{GagTTPUsedBytes, KindGauge, "reserved bus bytes over the horizon"},
+	{GagTTPCapBytes, KindGauge, "total slot capacity over the horizon"},
+	{GagTTPUsedSlots, KindGauge, "slot occurrences carrying at least one byte"},
+}
+
+// Catalog returns the declared instrument set in documentation order.
+// The slice is a copy; callers may reorder it freely.
+func Catalog() []Instrument {
+	return append([]Instrument(nil), catalog...)
+}
 
 // Counter is a monotonically increasing atomic counter. The zero value
 // is ready to use; a nil *Counter is a valid sink whose methods do
@@ -211,13 +270,41 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// SnapshotSchemaVersion identifies the JSON layout of Snapshot. Bump it
+// when a field changes meaning or shape, so stats files written by
+// different revisions of the tools can be told apart when diffing.
+const SnapshotSchemaVersion = 1
+
+// RunMeta is the run provenance a snapshot may carry: enough to make a
+// `-stats-out` document self-describing when it is compared against one
+// produced by a different revision, host, or sweep configuration.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	DurationNS int64  `json:"duration_ns"`
+	Seed       int64  `json:"seed,omitempty"`
+}
+
+// NewRunMeta captures the current runtime and the wall-clock duration
+// since start. Seed is recorded verbatim (0 means "not seed-driven").
+func NewRunMeta(start time.Time, seed int64) *RunMeta {
+	return &RunMeta{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		DurationNS: int64(time.Since(start)),
+		Seed:       seed,
+	}
+}
+
 // Snapshot is a point-in-time export of every instrument in a registry.
 // Timers are exported in nanoseconds so the document stays pure JSON
 // numbers.
 type Snapshot struct {
-	Counters map[string]int64 `json:"counters"`
-	Gauges   map[string]int64 `json:"gauges,omitempty"`
-	TimersNS map[string]int64 `json:"timers_ns,omitempty"`
+	SchemaVersion int              `json:"schema_version"`
+	Meta          *RunMeta         `json:"meta,omitempty"`
+	Counters      map[string]int64 `json:"counters"`
+	Gauges        map[string]int64 `json:"gauges,omitempty"`
+	TimersNS      map[string]int64 `json:"timers_ns,omitempty"`
 }
 
 // Snapshot exports the current value of every instrument. A nil
@@ -225,7 +312,7 @@ type Snapshot struct {
 // instruments — counters may advance between reads — which is fine for
 // the statistics use it serves.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Counters: map[string]int64{}}
+	s := Snapshot{SchemaVersion: SnapshotSchemaVersion, Counters: map[string]int64{}}
 	if r == nil {
 		return s
 	}
@@ -256,6 +343,30 @@ func (s Snapshot) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(s)
+}
+
+// WriteJSONFile writes the snapshot to path atomically: the document is
+// assembled in a temporary file in the same directory and renamed over
+// path only after a successful write, so an interrupted run never leaves
+// a truncated JSON behind. Errors identify the destination path.
+func (s Snapshot) WriteJSONFile(path string) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("obs: writing stats to %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := s.WriteJSON(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("obs: writing stats to %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("obs: writing stats to %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("obs: writing stats to %s: %w", path, err)
+	}
+	return nil
 }
 
 // Names returns the sorted counter names present in the snapshot;

@@ -3,6 +3,8 @@ package obs
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -156,5 +158,110 @@ func TestMultiTracerFansOut(t *testing.T) {
 	a.Reset()
 	if len(a.Events()) != 0 {
 		t.Error("reset kept events")
+	}
+}
+
+func TestSnapshotSchemaAndMeta(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(CtrEvaluations).Add(7)
+	s := r.Snapshot()
+	if s.SchemaVersion != SnapshotSchemaVersion {
+		t.Fatalf("SchemaVersion = %d, want %d", s.SchemaVersion, SnapshotSchemaVersion)
+	}
+	s.Meta = NewRunMeta(time.Now().Add(-time.Second), 42)
+	if s.Meta.GoVersion == "" || s.Meta.GOMAXPROCS < 1 {
+		t.Errorf("meta not self-describing: %+v", s.Meta)
+	}
+	if s.Meta.DurationNS < int64(time.Second) {
+		t.Errorf("DurationNS = %d, want >= 1s", s.Meta.DurationNS)
+	}
+	if s.Meta.Seed != 42 {
+		t.Errorf("Seed = %d", s.Meta.Seed)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.SchemaVersion != SnapshotSchemaVersion || back.Meta == nil || back.Meta.Seed != 42 {
+		t.Errorf("round trip lost schema/meta: %+v", back)
+	}
+}
+
+func TestWriteJSONFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stats.json")
+	r := NewRegistry()
+	r.Counter(CtrEvaluations).Add(3)
+	if err := r.Snapshot().WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("written file is not valid JSON: %v", err)
+	}
+	if back.Counters[CtrEvaluations] != 3 {
+		t.Errorf("counters = %v", back.Counters)
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just stats.json", len(entries))
+	}
+
+	// A failed write must name the path and leave the old file intact.
+	bad := filepath.Join(dir, "no-such-dir", "stats.json")
+	err = r.Snapshot().WriteJSONFile(bad)
+	if err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error %q does not name the destination path", err)
+	}
+	if got, _ := os.ReadFile(path); !bytes.Equal(got, data) {
+		t.Error("successful output disturbed by a later failed write")
+	}
+}
+
+func TestCatalogCoversDeclaredNames(t *testing.T) {
+	cat := Catalog()
+	byName := map[string]Instrument{}
+	for _, ins := range cat {
+		if _, dup := byName[ins.Name]; dup {
+			t.Errorf("duplicate catalog entry %q", ins.Name)
+		}
+		if ins.Help == "" {
+			t.Errorf("catalog entry %q has no help", ins.Name)
+		}
+		byName[ins.Name] = ins
+	}
+	for _, name := range []string{
+		CtrEvaluations, CtrCacheHits, CtrCacheMisses, CtrInfeasible,
+		CtrMHIterations, CtrMHCandidates, CtrMHPruned, CtrMHMoves,
+		CtrSAChains, CtrSAAccepts, CtrSARejects, CtrSAInfeasible,
+		CtrRelaxedSubsets, CtrSchedCalls, CtrSchedJobs, CtrSchedMsgs,
+		CtrSchedFailures, CtrTTPFindSlot, CtrTTPProbes, CtrTTPReserve,
+	} {
+		if ins, ok := byName[name]; !ok || ins.Kind != KindCounter {
+			t.Errorf("catalog missing counter %q (got %+v)", name, byName[name])
+		}
+	}
+	if ins := byName[TmrWorkerBusy]; ins.Kind != KindTimer {
+		t.Errorf("worker busy kind = %q", ins.Kind)
+	}
+	for _, name := range []string{GagWorkers, GagTTPUsedBytes, GagTTPCapBytes, GagTTPUsedSlots} {
+		if ins := byName[name]; ins.Kind != KindGauge {
+			t.Errorf("%q kind = %q, want gauge", name, ins.Kind)
+		}
 	}
 }

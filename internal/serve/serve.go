@@ -1,0 +1,565 @@
+// Package serve is the HTTP layer of cmd/incmapd: a long-running solve
+// service over the engine. It exposes
+//
+//	POST   /solve              submit a system; runs core.Solve, returns the solution
+//	GET    /solve/{id}         job status / result document
+//	DELETE /solve/{id}         cancel a job (the engine returns best-so-far)
+//	GET    /solve/{id}/events  SSE stream of the job's trace + cost-curve points
+//	GET    /metrics            Prometheus text exposition (catalog + process gauges)
+//	GET    /healthz, /readyz   liveness / readiness
+//	GET    /debug/pprof/...    net/http/pprof, when Config.EnablePprof
+//
+// Every job runs with its own obs.Registry and an SSE event buffer as
+// its tracer, reusing the engine's deterministic emission points: the
+// streamed event order is the canonical trace order, identical at any
+// parallelism. Completed jobs fold their registry into per-strategy
+// aggregates (plus an "all" aggregate) that /metrics renders.
+//
+// The manager is bounded: at most MaxConcurrent solves run at once,
+// at most QueueDepth wait behind them (beyond that POST /solve returns
+// 429), each job is capped by JobTimeout, and a client disconnect
+// cancels its synchronous solve — the engine then returns the best
+// design found so far, marked Interrupted.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incdes/internal/core"
+	"incdes/internal/model"
+	"incdes/internal/obs"
+	"incdes/internal/obs/promtext"
+)
+
+// Config tunes a Server. Zero values select the documented defaults.
+type Config struct {
+	// MaxConcurrent is the number of solves running at once (default
+	// GOMAXPROCS).
+	MaxConcurrent int
+	// QueueDepth is how many submitted solves may wait for a slot before
+	// POST /solve is rejected with 429 (default 16).
+	QueueDepth int
+	// JobTimeout caps every job's run time; requests may ask for less
+	// but never more. 0 means no cap.
+	JobTimeout time.Duration
+	// Parallelism is the per-solve evaluation worker count handed to
+	// core.Solve when the request does not choose one (0 = one per CPU).
+	Parallelism int
+	// RetainJobs is how many finished jobs stay queryable via
+	// GET /solve/{id} (default 64; running jobs are never evicted).
+	RetainJobs int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+	// MaxBodyBytes bounds the POST /solve request body (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.RetainJobs <= 0 {
+		c.RetainJobs = 64
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the incmapd HTTP service. Create with New, serve its
+// Handler, Close on shutdown.
+type Server struct {
+	cfg   Config
+	start time.Time
+	mux   *http.ServeMux
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+	ready   atomic.Bool
+
+	sem     chan struct{} // MaxConcurrent slots
+	running atomic.Int64
+	queued  atomic.Int64
+
+	mu       sync.Mutex
+	nextID   int64
+	jobs     map[string]*job
+	finished []string                 // eviction order
+	perStrat map[string]*obs.Registry // catalog aggregates by strategy tag
+	global   *obs.Registry            // catalog aggregate across strategies
+	solves   map[[2]string]int64      // completed solves by {strategy, status}
+}
+
+// New assembles a server. The global aggregate registry is pre-seeded
+// with the full instrument catalog so /metrics exposes every catalog
+// metric from the first scrape, before any solve has run.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		start:    time.Now(),
+		baseCtx:  ctx,
+		stop:     stop,
+		sem:      make(chan struct{}, cfg.MaxConcurrent),
+		jobs:     map[string]*job{},
+		perStrat: map[string]*obs.Registry{},
+		global:   obs.NewRegistry(),
+		solves:   map[[2]string]int64{},
+	}
+	for _, ins := range obs.Catalog() {
+		switch ins.Kind {
+		case obs.KindCounter:
+			s.global.Counter(ins.Name)
+		case obs.KindGauge:
+			s.global.Gauge(ins.Name)
+		case obs.KindTimer:
+			s.global.Timer(ins.Name)
+		}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /solve", s.handleSolve)
+	s.mux.HandleFunc("GET /solve/{id}", s.handleJobStatus)
+	s.mux.HandleFunc("DELETE /solve/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("GET /solve/{id}/events", s.handleJobEvents)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	s.ready.Store(true)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the server: readiness flips to 503 and every running
+// job's context is cancelled (the engine returns best-so-far designs).
+func (s *Server) Close() {
+	s.ready.Store(false)
+	s.stop()
+}
+
+// JobStatusDoc is the JSON document of GET /solve/{id} and the body of
+// a synchronous POST /solve response.
+type JobStatusDoc struct {
+	ID       string        `json:"id"`
+	Status   string        `json:"status"`
+	Strategy string        `json:"strategy"`
+	Error    string        `json:"error,omitempty"`
+	Solution *SolutionDoc  `json:"solution,omitempty"`
+	Stats    *obs.Snapshot `json:"stats,omitempty"`
+}
+
+func (s *Server) statusDoc(j *job) *JobStatusDoc {
+	status, doc, err := j.snapshot()
+	out := &JobStatusDoc{ID: j.id, Status: status, Strategy: j.strategy, Solution: doc}
+	if err != nil {
+		out.Error = err.Error()
+	}
+	if status == StatusDone || status == StatusInterrupted {
+		snap := j.reg.Snapshot()
+		out.Stats = &snap
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// parseSolveParams decodes the POST /solve query string.
+func parseSolveParams(r *http.Request) (SolveParams, error) {
+	q := r.URL.Query()
+	p := SolveParams{
+		Strategy: q.Get("strategy"),
+		App:      q.Get("app"),
+		Detach:   q.Get("detach") == "1" || q.Get("detach") == "true",
+	}
+	intq := func(name string, dst *int) error {
+		if v := q.Get(name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return fmt.Errorf("bad %s=%q", name, v)
+			}
+			*dst = n
+		}
+		return nil
+	}
+	for name, dst := range map[string]*int{
+		"sa-iters": &p.SAIters, "sa-restarts": &p.SARestarts, "parallel": &p.Parallel,
+	} {
+		if err := intq(name, dst); err != nil {
+			return p, err
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return p, fmt.Errorf("bad seed=%q", v)
+		}
+		p.SASeed = n
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d <= 0 {
+			return p, fmt.Errorf("bad timeout=%q", v)
+		}
+		p.Timeout = d
+	}
+	return p, nil
+}
+
+// submit registers a new job if the queue has room.
+func (s *Server) submit(strategyTag string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if int(s.queued.Load()) >= s.cfg.QueueDepth {
+		return nil, fmt.Errorf("queue full: %d solves waiting", s.queued.Load())
+	}
+	s.queued.Add(1)
+	s.nextID++
+	j := &job{
+		id:       "j" + strconv.FormatInt(s.nextID, 10),
+		strategy: strategyTag,
+		reg:      obs.NewRegistry(),
+		buf:      &eventBuffer{},
+		status:   StatusQueued,
+		done:     make(chan struct{}),
+	}
+	s.jobs[j.id] = j
+	return j, nil
+}
+
+// run executes one job to completion: waits for a worker slot, solves,
+// records the outcome and folds the job's registry into the aggregates.
+// ctx should already be bound to the client (sync) or the server
+// (detached); run adds the timeout and server-shutdown cancellation.
+func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveParams) {
+	ctx, cancel := context.WithCancel(ctx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+	stopWatch := context.AfterFunc(s.baseCtx, cancel) // shutdown cancels jobs
+	defer stopWatch()
+	timeout := params.Timeout
+	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
+		timeout = s.cfg.JobTimeout
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+
+	// Wait for a slot; cancellation while queued fails the job without
+	// burning one.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		j.finish(nil, fmt.Errorf("cancelled while queued: %w", ctx.Err()))
+		s.finalize(j)
+		return
+	}
+	s.queued.Add(-1)
+	s.running.Add(1)
+	defer func() {
+		s.running.Add(-1)
+		<-s.sem
+	}()
+	j.setStatus(StatusRunning)
+
+	strat, err := params.strategy() // validated at submit; cannot fail here
+	if err != nil {
+		j.finish(nil, err)
+		s.finalize(j)
+		return
+	}
+	parallelism := params.Parallel
+	if parallelism <= 0 {
+		parallelism = s.cfg.Parallelism
+	}
+	sol, err := core.Solve(ctx, p, core.Options{
+		Strategy:    strat,
+		Parallelism: parallelism,
+		Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
+	})
+	if err != nil {
+		j.finish(nil, err)
+		s.finalize(j)
+		return
+	}
+	doc, err := NewSolutionDoc(sol)
+	if err != nil {
+		j.finish(nil, err)
+		s.finalize(j)
+		return
+	}
+	j.finish(doc, nil)
+	s.finalize(j)
+}
+
+// finalize folds a finished job into the aggregates and evicts the
+// oldest finished jobs beyond the retention bound.
+func (s *Server) finalize(j *job) {
+	status, _, _ := j.snapshot()
+	snap := j.reg.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	agg, ok := s.perStrat[j.strategy]
+	if !ok {
+		agg = obs.NewRegistry()
+		s.perStrat[j.strategy] = agg
+	}
+	mergeSnapshot(agg, snap)
+	mergeSnapshot(s.global, snap)
+	s.solves[[2]string{j.strategy, status}]++
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.RetainJobs {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+}
+
+// mergeSnapshot accumulates one job's instruments into an aggregate
+// registry: counters and timers add, gauges keep the last job's value.
+func mergeSnapshot(dst *obs.Registry, snap obs.Snapshot) {
+	for name, v := range snap.Counters {
+		dst.Counter(name).Add(v)
+	}
+	for name, v := range snap.Gauges {
+		dst.Gauge(name).Set(v)
+	}
+	for name, ns := range snap.TimersNS {
+		dst.Timer(name).Observe(time.Duration(ns))
+	}
+}
+
+func (s *Server) job(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	params, err := parseSolveParams(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	strat, err := params.strategy()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	sys, err := model.ReadSystem(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading system: %v", err)
+		return
+	}
+	p, err := BuildProblem(sys, params.App)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "building problem: %v", err)
+		return
+	}
+	j, err := s.submit(strat.Name())
+	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	if params.Detach {
+		// Detached jobs belong to the server, not the request: the job
+		// outlives the connection and is cancelled only by DELETE,
+		// timeout, or shutdown.
+		go s.run(s.baseCtx, j, p, params)
+		w.Header().Set("Location", "/solve/"+j.id)
+		writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
+		return
+	}
+	// Synchronous: the job is bound to the connection. A client
+	// disconnect cancels the solve and the engine reports the best
+	// design found so far, marked interrupted.
+	s.run(r.Context(), j, p, params)
+	doc := s.statusDoc(j)
+	if doc.Status == StatusFailed {
+		writeJSON(w, http.StatusUnprocessableEntity, doc)
+		return
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusDoc(j))
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": j.id, "status": "cancelling"})
+}
+
+// ssePayload is the cost-curve point streamed alongside trace events.
+type ssePayload struct {
+	N    int     `json:"n"`
+	Kind string  `json:"kind"`
+	Cost float64 `json:"cost"`
+}
+
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.job(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := json.NewEncoder(w)
+	next, curve := 0, 0
+	for {
+		evs, done, wait := j.buf.next(next)
+		for _, ev := range evs {
+			fmt.Fprintf(w, "event: trace\nid: %d\ndata: ", ev.Seq)
+			enc.Encode(ev) // one line + '\n'
+			fmt.Fprint(w, "\n")
+			// Mirror obs.CostCurve: every committed/improved design is
+			// also streamed as a cost-curve point.
+			switch ev.Kind {
+			case "init", "move", "sa.best", "decision":
+				curve++
+				fmt.Fprint(w, "event: cost\ndata: ")
+				enc.Encode(ssePayload{N: curve, Kind: ev.Kind, Cost: ev.Cost})
+				fmt.Fprint(w, "\n")
+			}
+		}
+		next += len(evs)
+		if len(evs) > 0 {
+			flusher.Flush()
+		}
+		if done && len(evs) == 0 {
+			status, doc, jerr := j.snapshot()
+			final := map[string]any{"status": status}
+			if doc != nil {
+				final["objective"] = doc.Objective
+				final["evaluations"] = doc.Evaluations
+			}
+			if jerr != nil {
+				final["error"] = jerr.Error()
+			}
+			fmt.Fprint(w, "event: done\ndata: ")
+			enc.Encode(final)
+			fmt.Fprint(w, "\n")
+			flusher.Flush()
+			return
+		}
+		if wait != nil {
+			select {
+			case <-wait:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	c := promtext.NewCollection(promtext.DefaultNamespace)
+
+	// Engine/scheduler/bus catalog: the cross-strategy aggregate under
+	// {strategy="all"}, plus one label set per strategy that has run.
+	// "all" is the sum of the others; filter by label when aggregating.
+	s.mu.Lock()
+	c.Add(map[string]string{"strategy": "all"}, s.global.Snapshot())
+	for tag, reg := range s.perStrat {
+		c.Add(map[string]string{"strategy": tag}, reg.Snapshot())
+	}
+	for key, n := range s.solves {
+		c.AddCounter("solves", "completed solve jobs by strategy and status",
+			map[string]string{"strategy": key[0], "status": key[1]}, float64(n))
+	}
+	s.mu.Unlock()
+
+	// Process- and service-level gauges.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	c.AddGauge("process.uptime_seconds", "seconds since the server started", nil, time.Since(s.start).Seconds())
+	c.AddGauge("process.goroutines", "current goroutine count", nil, float64(runtime.NumGoroutine()))
+	c.AddGauge("process.heap_alloc_bytes", "bytes of allocated heap objects", nil, float64(ms.HeapAlloc))
+	c.AddGauge("process.heap_sys_bytes", "bytes of heap obtained from the OS", nil, float64(ms.HeapSys))
+	c.AddGauge("solves.in_flight", "solves currently running", nil, float64(s.running.Load()))
+	c.AddGauge("solves.queued", "solves waiting for a worker slot", nil, float64(s.queued.Load()))
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	c.Write(w)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
+}
