@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.25] [-min-wall-ms 20] baseline.json candidate.json
+//	benchdiff [-threshold 0.25] [-min-wall-ms 20] [-min-median-speedup R]
+//	          baseline.json candidate.json
 //
 // Per matched (fig, size, strategy) point, wall time may grow and
 // evaluation throughput may shrink by at most the threshold; points
@@ -14,8 +15,15 @@
 // comparison — a changed algorithm is a review question, not a perf
 // regression.
 //
-// Exit status: 0 when no point regresses, 1 on regressions, 2 on usage
-// or I/O errors.
+// -min-median-speedup additionally requires the median candidate/
+// baseline evals_per_sec ratio to reach R (1.0 = "no slower in the
+// median"); 0 disables the check. CI uses it to assert that the
+// incremental evaluation path actually pays for itself against a
+// full-rebuild sweep of the same workload.
+//
+// Exit status: 0 when no point regresses, 1 on regressions (or a
+// missed median-speedup floor), 2 on usage or I/O errors — including a
+// report whose schema_version is newer than this binary understands.
 package main
 
 import (
@@ -29,8 +37,9 @@ import (
 func main() {
 	threshold := flag.Float64("threshold", 0.25, "tolerated relative slowdown per point (0.25 = 25%)")
 	minWall := flag.Float64("min-wall-ms", 20, "skip timing comparison for points faster than this baseline wall time")
+	minSpeedup := flag.Float64("min-median-speedup", 0, "require the median candidate/baseline evals_per_sec ratio to reach this value (0 disables)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold T] [-min-wall-ms MS] baseline.json candidate.json")
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold T] [-min-wall-ms MS] [-min-median-speedup R] baseline.json candidate.json")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -59,13 +68,29 @@ func main() {
 	}
 	fmt.Printf("compared %d candidate points against %s (threshold %.0f%%, floor %.0fms)\n",
 		len(cand.Points), flag.Arg(0), *threshold*100, *minWall)
-	if len(regs) == 0 {
+	failed := false
+	if *minSpeedup > 0 {
+		ratio, ok := bench.MedianSpeedup(base, cand, *minWall)
+		switch {
+		case !ok:
+			fmt.Println("REGRESSION: no points comparable for the median-speedup check")
+			failed = true
+		case ratio < *minSpeedup:
+			fmt.Printf("REGRESSION: median evals/sec speedup %.3fx below required %.3fx\n", ratio, *minSpeedup)
+			failed = true
+		default:
+			fmt.Printf("median evals/sec speedup %.3fx (required %.3fx)\n", ratio, *minSpeedup)
+		}
+	}
+	if len(regs) == 0 && !failed {
 		fmt.Println("no perf regressions")
 		return
 	}
 	for _, d := range regs {
 		fmt.Println("REGRESSION:", d)
 	}
-	fmt.Printf("%d perf regressions beyond %.0f%%\n", len(regs), *threshold*100)
+	if len(regs) > 0 {
+		fmt.Printf("%d perf regressions beyond %.0f%%\n", len(regs), *threshold*100)
+	}
 	os.Exit(1)
 }

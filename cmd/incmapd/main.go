@@ -37,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"incdes/internal/core"
 	"incdes/internal/serve"
 )
 
@@ -48,8 +49,13 @@ func main() {
 	parallel := flag.Int("parallel", 0, "evaluation workers per solve (0 = one per CPU)")
 	retain := flag.Int("retain", 64, "finished jobs kept queryable")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	incremental := flag.Bool("incremental", true, "transactional incremental candidate evaluation (false = full rebuild per candidate)")
 	flag.Parse()
 
+	mode := core.IncrementalOn
+	if !*incremental {
+		mode = core.IncrementalOff
+	}
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
 		QueueDepth:    *queue,
@@ -57,6 +63,7 @@ func main() {
 		Parallelism:   *parallel,
 		RetainJobs:    *retain,
 		EnablePprof:   *pprofOn,
+		Incremental:   mode,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

@@ -138,11 +138,57 @@ func ReadFile(path string) (*Report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return nil, fmt.Errorf("bench: reading %s: %w", path, err)
 	}
+	if r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema version %d, newer than %d (the newest this tool understands): %w — rebuild benchdiff from the branch that wrote the report",
+			path, r.SchemaVersion, SchemaVersion, ErrSchemaTooNew)
+	}
 	if r.SchemaVersion != SchemaVersion {
 		return nil, fmt.Errorf("bench: %s has schema version %d, this tool understands %d",
 			path, r.SchemaVersion, SchemaVersion)
 	}
 	return &r, nil
+}
+
+// ErrSchemaTooNew marks a report written by a newer tool than this
+// binary: comparing it silently would misread fields, so ReadFile
+// refuses with this error wrapped.
+var ErrSchemaTooNew = fmt.Errorf("bench: report schema newer than this tool")
+
+// MedianSpeedup returns the median candidate/baseline evals_per_sec
+// ratio over the points matched by (fig, size, strategy), skipping
+// points without a positive throughput on both sides and points whose
+// wall time on either side is below minWallMS (0 takes Compare's 20ms
+// default) — sub-floor timings are pure noise and would let a
+// microsecond-scale point swing the median. ok is false when no point
+// is comparable.
+func MedianSpeedup(base, cand *Report, minWallMS float64) (ratio float64, ok bool) {
+	if minWallMS == 0 {
+		minWallMS = 20
+	}
+	baseByKey := map[string]Point{}
+	for _, p := range base.Points {
+		baseByKey[p.key()] = p
+	}
+	var ratios []float64
+	for _, np := range cand.Points {
+		bp, found := baseByKey[np.key()]
+		if !found || bp.EvalsPerSec <= 0 || np.EvalsPerSec <= 0 {
+			continue
+		}
+		if bp.WallMS < minWallMS || np.WallMS < minWallMS {
+			continue // too fast to time meaningfully
+		}
+		ratios = append(ratios, np.EvalsPerSec/bp.EvalsPerSec)
+	}
+	if len(ratios) == 0 {
+		return 0, false
+	}
+	sort.Float64s(ratios)
+	mid := len(ratios) / 2
+	if len(ratios)%2 == 1 {
+		return ratios[mid], true
+	}
+	return (ratios[mid-1] + ratios[mid]) / 2, true
 }
 
 // PeakRSS returns the process's peak resident set size in bytes, read

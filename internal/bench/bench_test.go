@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"errors"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -147,5 +148,85 @@ func TestCompare(t *testing.T) {
 	}
 	if missing != 3 {
 		t.Errorf("missing notes = %d, want 3 (%v)", missing, notes)
+	}
+}
+
+func TestReadFileSchemaTooNew(t *testing.T) {
+	r := FromDeviation(sampleResult(), time.Second, 1, false)
+	r.SchemaVersion = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "BENCH_future.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if err == nil {
+		t.Fatal("ReadFile accepted a report from a newer schema")
+	}
+	if !errors.Is(err, ErrSchemaTooNew) {
+		t.Errorf("err = %v, want ErrSchemaTooNew", err)
+	}
+	if !strings.Contains(err.Error(), "newer") || !strings.Contains(err.Error(), path) {
+		t.Errorf("message %q should say the report is newer and name the file", err)
+	}
+
+	// An older (or just different) schema still errors, but is not "too new".
+	r.SchemaVersion = 0
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadFile(path)
+	if err == nil || errors.Is(err, ErrSchemaTooNew) {
+		t.Errorf("schema 0: err = %v, want mismatch error that is not ErrSchemaTooNew", err)
+	}
+}
+
+func TestMedianSpeedup(t *testing.T) {
+	base := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+	cand := FromDeviation(sampleResult(), 2*time.Second, 7, true)
+
+	// Identical reports: median ratio is exactly 1.
+	ratio, ok := MedianSpeedup(base, cand, 0)
+	if !ok || ratio != 1 {
+		t.Fatalf("identical reports: ratio = %v ok = %v, want 1 true", ratio, ok)
+	}
+
+	// Double every throughput: median ratio 2, regardless of point order.
+	for i := range cand.Points {
+		cand.Points[i].EvalsPerSec *= 2
+	}
+	ratio, ok = MedianSpeedup(base, cand, 0)
+	if !ok || ratio != 2 {
+		t.Fatalf("doubled throughput: ratio = %v ok = %v, want 2 true", ratio, ok)
+	}
+
+	// Sub-floor points are noise, not signal: the AH rows run in
+	// microseconds, so even an absurd throughput swing there must not
+	// move the median.
+	for i := range cand.Points {
+		if cand.Points[i].Strategy == "AH" {
+			cand.Points[i].EvalsPerSec *= 1000
+		}
+	}
+	ratio, ok = MedianSpeedup(base, cand, 0)
+	if !ok || ratio != 2 {
+		t.Fatalf("sub-floor AH points should be excluded: ratio = %v ok = %v, want 2 true", ratio, ok)
+	}
+
+	// Zero-throughput points are skipped, not treated as infinite
+	// speedups or divide-by-zero — even above the floor.
+	for i := range base.Points {
+		if base.Points[i].Strategy == "MH" {
+			base.Points[i].EvalsPerSec = 0
+		}
+	}
+	ratio, ok = MedianSpeedup(base, cand, 0)
+	if !ok || ratio != 2 {
+		t.Fatalf("zero-throughput MH points should leave SA comparable: ratio = %v ok = %v", ratio, ok)
+	}
+
+	// No comparable points at all.
+	empty := &Report{SchemaVersion: SchemaVersion}
+	if _, ok = MedianSpeedup(base, empty, 0); ok {
+		t.Fatal("empty candidate should not be comparable")
 	}
 }

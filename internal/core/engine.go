@@ -34,12 +34,22 @@ type Engine struct {
 	progress    func(Event)
 	cache       *evalCache
 
-	// scratch holds worker-local schedule states reused across
-	// evaluations (CloneInto resets them), keeping the per-evaluation
-	// allocation cost near zero. keys pools the memo key buffers for the
-	// same reason: the cache-hit path must not allocate at all.
+	// scratch holds worker-local evaluation contexts reused across
+	// evaluations, keeping the per-evaluation allocation cost near zero.
+	// On the incremental path each context owns a private copy of the
+	// frozen base, made once, that candidates are applied to and rolled
+	// back from as transactions; on the full-rebuild path the context's
+	// state is overwritten per evaluation with CloneInto. keys pools the
+	// memo key buffers for the same reason: the cache-hit path must not
+	// allocate at all.
 	scratch sync.Pool
 	keys    sync.Pool
+
+	// incremental selects the transactional evaluation path; baseline
+	// is the shared read-only metric-input cache behind it (nil when
+	// incremental is off).
+	incremental bool
+	baseline    *metrics.Baseline
 
 	evals atomic.Int64
 	hits  atomic.Int64
@@ -58,6 +68,13 @@ type Engine struct {
 	tBusy       *obs.Timer
 	schedStats  sched.Stats
 	ttpStats    ttp.Stats
+
+	// Transactional-evaluation instruments (nil no-ops without observer).
+	cTxnApplies   *obs.Counter
+	cTxnRollbacks *obs.Counter
+	cTxnDirty     *obs.Counter
+	cTxnIncr      *obs.Counter
+	cTxnFull      *obs.Counter
 
 	// procIDs and msgIDs of the current application in sorted order:
 	// the canonical field order of the evaluation-memo key.
@@ -80,6 +97,10 @@ func newEngine(p *Problem, opts Options) *Engine {
 		parallelism: opts.Parallelism,
 		progress:    opts.Progress,
 		observer:    opts.Observer,
+		incremental: opts.Incremental != IncrementalOff,
+	}
+	if e.incremental {
+		e.baseline = metrics.NewBaseline(p.Base, p.Profile, p.Weights)
 	}
 	if e.parallelism <= 0 {
 		e.parallelism = defaultParallelism()
@@ -102,6 +123,11 @@ func newEngine(p *Problem, opts Options) *Engine {
 		e.cMisses = reg.Counter(obs.CtrCacheMisses)
 		e.cInfeasible = reg.Counter(obs.CtrInfeasible)
 		e.tBusy = reg.Timer(obs.TmrWorkerBusy)
+		e.cTxnApplies = reg.Counter(obs.CtrTxnApplies)
+		e.cTxnRollbacks = reg.Counter(obs.CtrTxnRollbacks)
+		e.cTxnDirty = reg.Counter(obs.CtrTxnDirty)
+		e.cTxnIncr = reg.Counter(obs.CtrTxnIncremental)
+		e.cTxnFull = reg.Counter(obs.CtrTxnFull)
 		e.schedStats = sched.StatsFrom(reg)
 		e.ttpStats = ttp.StatsFrom(reg)
 		reg.Gauge(obs.GagWorkers).Set(int64(e.parallelism))
@@ -173,11 +199,30 @@ func (e *Engine) Emit(ev Event) {
 	e.mu.Unlock()
 }
 
+// evalScratch is one worker-local evaluation context. st is the
+// worker's private schedule state; on the incremental path it is a copy
+// of the frozen base made once at context creation (candidates apply and
+// roll back as transactions, so it equals the base between evaluations),
+// and inc is the worker's incremental metrics evaluator. On the
+// full-rebuild path st is overwritten from the base per evaluation and
+// inc stays nil.
+type evalScratch struct {
+	st  *sched.State
+	inc *metrics.Incremental
+}
+
 // Evaluate schedules the current application with the given design
-// decisions on a worker-local clone of the frozen base and scores the
+// decisions on a worker-local copy of the frozen base and scores the
 // result. It reports ok=false when the design is infeasible (requirement
 // (a) rules it out). Identical (mapping, hints) pairs are served from the
 // memo without rescheduling. Safe for concurrent use.
+//
+// On the default incremental path the candidate is applied to the
+// worker's base copy as an undo-logged transaction, scored from the
+// touched regions only, and rolled back in O(delta) — the full-rebuild
+// path (Options.Incremental == IncrementalOff) clones and rescores the
+// whole state instead. Both produce byte-identical reports (pinned by
+// differential tests).
 //
 // The memo-hit path performs zero allocations (pinned by a test): the key
 // is built in a pooled buffer and looked up through Go's non-allocating
@@ -200,27 +245,80 @@ func (e *Engine) Evaluate(mapping model.Mapping, hints sched.Hints) (metrics.Rep
 		}
 		e.cMisses.Inc()
 	}
-	scr, _ := e.scratch.Get().(*sched.State)
-	scr = e.p.Base.CloneInto(scr)
-	if e.statsOn {
-		// CloneInto preserves the destination's stats attachment, but a
-		// fresh scratch state (first Get) starts uninstrumented; attaching
-		// every time is two field assignments and keeps the invariant local.
-		scr.SetStats(e.schedStats)
-		scr.BusState().SetStats(e.ttpStats)
-	}
 	var ent cacheEntry
-	if err := scr.ScheduleApp(e.p.Current, mapping, hints); err == nil {
-		ent = cacheEntry{rep: metrics.Evaluate(scr, e.p.Profile, e.p.Weights), ok: true}
+	if e.incremental {
+		ent = e.evaluateTxn(mapping, hints)
 	} else {
-		e.cInfeasible.Inc()
+		ent = e.evaluateRebuild(mapping, hints)
 	}
-	e.scratch.Put(scr)
 	if e.cache != nil {
 		e.cache.put(kb.b, ent)
 		e.keys.Put(kb)
 	}
 	return ent.rep, ent.ok
+}
+
+// evaluateTxn is the transactional evaluation: Begin / Apply / score
+// from dirty regions / Rollback on the worker's standing base copy.
+func (e *Engine) evaluateTxn(mapping model.Mapping, hints sched.Hints) cacheEntry {
+	scr, _ := e.scratch.Get().(*evalScratch)
+	if scr == nil {
+		scr = &evalScratch{st: e.p.Base.Clone(), inc: e.baseline.Evaluator()}
+		if e.statsOn {
+			scr.st.SetStats(e.schedStats)
+			scr.st.BusState().SetStats(e.ttpStats)
+		} else {
+			// The base may carry instruments; a worker copy must not
+			// report into them unless this Solve's observer asked for it.
+			scr.st.SetStats(sched.Stats{})
+			scr.st.BusState().SetStats(ttp.Stats{})
+		}
+	}
+	txn := scr.st.Begin()
+	e.cTxnApplies.Inc()
+	var ent cacheEntry
+	if err := txn.Apply(e.p.Current, mapping, hints); err == nil {
+		rep, full := scr.inc.EvaluateTxn(scr.st, txn)
+		if full {
+			e.cTxnFull.Inc()
+		} else {
+			e.cTxnIncr.Inc()
+		}
+		ent = cacheEntry{rep: rep, ok: true}
+	} else {
+		e.cInfeasible.Inc()
+	}
+	e.cTxnDirty.Add(int64(txn.DirtyIntervals()))
+	txn.Rollback()
+	e.cTxnRollbacks.Inc()
+	e.scratch.Put(scr)
+	return ent
+}
+
+// evaluateRebuild is the pre-transactional evaluation: overwrite the
+// worker state from the base and rebuild schedule and metrics from
+// scratch.
+func (e *Engine) evaluateRebuild(mapping model.Mapping, hints sched.Hints) cacheEntry {
+	scr, _ := e.scratch.Get().(*evalScratch)
+	if scr == nil {
+		scr = &evalScratch{}
+	}
+	scr.st = e.p.Base.CloneInto(scr.st)
+	if e.statsOn {
+		// CloneInto preserves the destination's stats attachment, but a
+		// fresh scratch state (first Get) starts uninstrumented; attaching
+		// every time is two field assignments and keeps the invariant local.
+		scr.st.SetStats(e.schedStats)
+		scr.st.BusState().SetStats(e.ttpStats)
+	}
+	var ent cacheEntry
+	if err := scr.st.ScheduleApp(e.p.Current, mapping, hints); err == nil {
+		ent = cacheEntry{rep: metrics.Evaluate(scr.st, e.p.Profile, e.p.Weights), ok: true}
+	} else {
+		e.cInfeasible.Inc()
+	}
+	e.scratch.Put(scr)
+	return ent
 }
 
 // Materialize rebuilds the full schedule state of a design alternative

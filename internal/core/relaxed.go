@@ -76,6 +76,9 @@ type RelaxedOptions struct {
 	// Parallelism is handed to the embedded Solve calls (0 uses one
 	// worker per CPU).
 	Parallelism int
+	// Incremental is handed to the embedded Solve calls (the zero value
+	// enables transactional incremental evaluation, see Options).
+	Incremental IncrementalMode
 	// Observer is handed to the embedded Solve calls; the
 	// core.relaxed.subsets counter additionally records how many
 	// modification subsets were tried. nil disables observability.
@@ -152,6 +155,7 @@ func (rp *RelaxedProblem) trySubset(ctx context.Context, modify map[model.AppID]
 	sol, err := Solve(ctx, p, Options{
 		Strategy:    MHWith(opts.MH),
 		Parallelism: opts.Parallelism,
+		Incremental: opts.Incremental,
 		Observer:    opts.Observer,
 	})
 	if err != nil {

@@ -51,6 +51,24 @@ func SAWith(opts SAOptions) Strategy { return saStrategy{opts: opts} }
 // Options.CacheSize is 0.
 const DefaultCacheSize = 1 << 14
 
+// IncrementalMode selects how the engine evaluates candidate designs.
+type IncrementalMode int
+
+const (
+	// IncrementalAuto (the zero value) currently means IncrementalOn:
+	// transactional in-place evaluation is the default.
+	IncrementalAuto IncrementalMode = iota
+	// IncrementalOn applies each candidate as an undo-logged transaction
+	// on a per-worker copy of the frozen base and rescores only the
+	// touched regions, rolling back in O(delta) afterwards.
+	IncrementalOn
+	// IncrementalOff restores the pre-transactional behavior: every
+	// candidate clones the full base state and recomputes the metrics
+	// from scratch. The escape hatch — results are byte-identical to the
+	// incremental path (pinned by differential tests), only slower.
+	IncrementalOff
+)
+
 // Options configure one Solve call. The zero value of every field except
 // Strategy is meaningful and documented on the field; DefaultOptions
 // returns the fully explicit defaults.
@@ -70,6 +88,12 @@ type Options struct {
 	// CacheSize bounds the evaluation memo in entries. 0 selects
 	// DefaultCacheSize; negative disables the memo.
 	CacheSize int
+	// Incremental selects the candidate evaluation machinery. The zero
+	// value (IncrementalAuto) enables transactional incremental
+	// evaluation; IncrementalOff falls back to cloning and rebuilding the
+	// full state per candidate. Solutions are byte-identical either way —
+	// the mode only changes speed.
+	Incremental IncrementalMode
 	// Observer, when non-nil, attaches the observability layer: its
 	// Stats registry accumulates the engine/scheduler/bus counter catalog
 	// (see package obs) and its Tracer receives the structured decision
@@ -87,6 +111,7 @@ func DefaultOptions() Options {
 		Strategy:    MH,
 		Parallelism: defaultParallelism(),
 		CacheSize:   DefaultCacheSize,
+		Incremental: IncrementalOn,
 	}
 }
 

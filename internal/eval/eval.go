@@ -62,6 +62,11 @@ type Options struct {
 	// Parallel; <= 0 uses one worker per CPU). Solutions are identical
 	// at any setting — only runtimes change.
 	StrategyParallel int
+	// Incremental is handed to every embedded core.Solve call: the zero
+	// value enables transactional incremental evaluation,
+	// core.IncrementalOff restores full clone-and-rebuild per candidate.
+	// Solutions (and therefore the figures) are identical either way.
+	Incremental core.IncrementalMode
 	// Observer, when non-nil, is handed to every embedded core.Solve
 	// call, so one registry accumulates engine/scheduler/bus statistics
 	// over the whole sweep (incbench -stats-out exports it). Attach a
@@ -156,7 +161,12 @@ func (o Options) forEachCase(ctx context.Context, fn func(c int) error) error {
 // context's error: a half-finished strategy run would corrupt the
 // aggregate figures.
 func (o Options) solve(ctx context.Context, p *core.Problem, strat core.Strategy) (*core.Solution, error) {
-	sol, err := core.Solve(ctx, p, core.Options{Strategy: strat, Parallelism: o.StrategyParallel, Observer: o.Observer})
+	sol, err := core.Solve(ctx, p, core.Options{
+		Strategy:    strat,
+		Parallelism: o.StrategyParallel,
+		Incremental: o.Incremental,
+		Observer:    o.Observer,
+	})
 	if err != nil {
 		return nil, err
 	}

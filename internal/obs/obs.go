@@ -40,6 +40,13 @@ const (
 	TmrWorkerBusy  = "core.worker_busy"  // timer: cumulative worker busy time
 	GagWorkers     = "core.workers"      // gauge: resolved parallelism of the last Solve
 
+	// Transactional evaluation (internal/core, incremental path).
+	CtrTxnApplies     = "core.txn_applies"           // candidate placements applied in place
+	CtrTxnRollbacks   = "core.txn_rollbacks"         // transactions rolled back after scoring
+	CtrTxnDirty       = "core.txn_dirty_intervals"   // touched intervals (busy + bus) across transactions
+	CtrTxnIncremental = "core.txn_incremental_evals" // scores computed from dirty regions only
+	CtrTxnFull        = "core.txn_full_evals"        // scores that fell back to a full recompute
+
 	// Mapping heuristic.
 	CtrMHIterations = "core.mh.iterations" // improvement iterations run
 	CtrMHCandidates = "core.mh.candidates" // design transformations examined
@@ -100,6 +107,11 @@ var catalog = []Instrument{
 	{CtrInfeasible, KindCounter, "evaluations ruled out by requirement (a)"},
 	{TmrWorkerBusy, KindTimer, "cumulative worker busy time"},
 	{GagWorkers, KindGauge, "resolved parallelism of the last Solve"},
+	{CtrTxnApplies, KindCounter, "candidate placements applied in place"},
+	{CtrTxnRollbacks, KindCounter, "transactions rolled back after scoring"},
+	{CtrTxnDirty, KindCounter, "touched intervals (busy + bus) across transactions"},
+	{CtrTxnIncremental, KindCounter, "scores computed from dirty regions only"},
+	{CtrTxnFull, KindCounter, "scores that fell back to a full recompute"},
 	{CtrMHIterations, KindCounter, "MH improvement iterations run"},
 	{CtrMHCandidates, KindCounter, "MH design transformations examined"},
 	{CtrMHPruned, KindCounter, "MH candidates pruned as infeasible"},

@@ -164,3 +164,31 @@ func TestFullCatalogRenders(t *testing.T) {
 		}
 	}
 }
+
+// TestTxnCounterExposition pins the exact exposition lines of the
+// transactional-engine counters: dashboards query these names, so a
+// catalog rename must show up as a test failure, not a silent gap.
+func TestTxnCounterExposition(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter(obs.CtrTxnApplies).Add(5)
+	r.Counter(obs.CtrTxnRollbacks).Add(5)
+	r.Counter(obs.CtrTxnDirty).Add(123)
+	r.Counter(obs.CtrTxnIncremental).Add(3)
+	r.Counter(obs.CtrTxnFull).Add(2)
+	var buf bytes.Buffer
+	if err := Write(&buf, DefaultNamespace, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		"incdes_core_txn_applies_total 5",
+		"incdes_core_txn_rollbacks_total 5",
+		"incdes_core_txn_dirty_intervals_total 123",
+		"incdes_core_txn_incremental_evals_total 3",
+		"incdes_core_txn_full_evals_total 2",
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Errorf("exposition missing %q:\n%s", line, out)
+		}
+	}
+}

@@ -57,6 +57,38 @@ func BestFit(items, bins []int64) Result {
 	return res
 }
 
+// BestFitUnpacked returns the unpacked fraction of packing items (in
+// the given order) into bins with the best-fit policy, without building
+// an assignment. scratch is reused for the remaining capacities and the
+// (possibly grown) slice is returned for the next call. The placement
+// loop and the fraction arithmetic are exactly BestFit's followed by
+// Result.UnpackedFraction, so the value is bit-identical — this is the
+// allocation-free form the incremental metrics evaluator runs once per
+// candidate design.
+func BestFitUnpacked(items, bins, scratch []int64) (float64, []int64) {
+	remaining := append(scratch[:0], bins...)
+	var packed, unpacked int64
+	for _, size := range items {
+		best := -1
+		for b, free := range remaining {
+			if free >= size && (best == -1 || free < remaining[best]) {
+				best = b
+			}
+		}
+		if best == -1 {
+			unpacked += size
+			continue
+		}
+		remaining[best] -= size
+		packed += size
+	}
+	total := packed + unpacked
+	if total == 0 {
+		return 0, remaining
+	}
+	return float64(unpacked) / float64(total), remaining
+}
+
 // BestFitDecreasing sorts the items in decreasing size before running
 // best-fit. This is the configuration the paper's C1 metric uses: large
 // future processes claim the large contiguous slacks first, so a

@@ -32,6 +32,11 @@ type State struct {
 	// stats are optional observability sinks (see obs.go). They never
 	// influence placement decisions.
 	stats Stats
+
+	// txn is the state's reusable transaction (see txn.go). While it is
+	// open, every placement write is recorded in its undo log. Clones
+	// never inherit it: a transaction belongs to exactly one state.
+	txn *Txn
 }
 
 // NewState returns an empty schedule over the system hyperperiod.
@@ -198,6 +203,9 @@ func (s *State) planMsg(g *model.Graph, m *model.Message, occ int, sender model.
 	if err := s.bus.Reserve(round, slot, m.Bytes); err != nil {
 		return MsgEntry{}, err
 	}
+	if t := s.tx(); t != nil {
+		t.bus.Record(round, slot, m.Bytes)
+	}
 	s.stats.MsgsPlaced.Inc()
 	bus := s.sys.Arch.Bus
 	return MsgEntry{
@@ -272,6 +280,10 @@ func (s *State) scheduleJob(app *model.Application, g *model.Graph, p *model.Pro
 	})
 	s.msgs = append(s.msgs, newMsgs...)
 	j := Job{Proc: p.ID, Occ: occ}
+	if t := s.tx(); t != nil {
+		t.recordBusy(node, tm.Iv(start, start+wcet))
+		t.recordJob(j)
+	}
 	s.jobEnd[j] = start + wcet
 	s.jobNode[j] = node
 	return nil
@@ -294,8 +306,12 @@ func (s *State) ScheduleApp(app *model.Application, mapping model.Mapping, hints
 			return err
 		}
 	}
+	t := s.tx()
 	for _, g := range app.Graphs {
 		for _, p := range g.Procs {
+			if t != nil {
+				t.recordMap(p.ID)
+			}
 			s.mapping[p.ID] = mapping[p.ID]
 		}
 	}

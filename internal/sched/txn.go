@@ -1,0 +1,257 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"incdes/internal/model"
+	"incdes/internal/tm"
+	"incdes/internal/ttp"
+)
+
+// Txn is an in-place, undo-logged modification of a State: the
+// transactional evaluation primitive behind the engine's incremental
+// candidate path. A transaction opens with State.Begin, applies one or
+// more candidate placements with Apply (the undo-logged form of
+// ScheduleApp), and ends with either Commit (keep the placements,
+// discard the log) or Rollback (restore the exact pre-Begin state in
+// O(delta): inserted busy intervals are removed, bus reservations
+// released, appended schedule entries truncated, and overwritten map
+// entries restored from the log).
+//
+// While a transaction is open the state must not be cloned, copied into,
+// or modified outside Apply. A state carries at most one transaction;
+// Begin reuses the previous transaction's storage, so the steady-state
+// cost of a Begin/Apply/Rollback cycle is allocation-free.
+//
+// The transaction also tracks the delta's footprint — which node
+// timelines gained intervals and which TDMA slot occurrences gained
+// reservations — which is what lets the incremental metrics evaluator
+// (package metrics) rescore only the touched regions. The design cost of
+// an applied transaction is computed there (metrics sits above sched in
+// the layering), via Baseline.Evaluator and Incremental.EvaluateTxn.
+type Txn struct {
+	st   *State
+	open bool
+
+	// Undo log. procsLen/msgsLen snapshot the append-only entry slices;
+	// everything else records individual reversible writes in order.
+	procsLen, msgsLen int
+	busy              []busyInsert
+	bus               ttp.Journal
+	jobs              []jobUndo
+	maps              []mapUndo
+
+	// dirty is the set of nodes whose busy timeline changed.
+	dirty map[model.NodeID]struct{}
+}
+
+// busyInsert records one interval inserted into a node's busy set.
+// Insert only ever adds exactly the interval (merging with neighbors),
+// so Remove of the same interval restores the set exactly.
+type busyInsert struct {
+	node model.NodeID
+	iv   tm.Interval
+}
+
+// jobUndo records a jobEnd/jobNode write with the prior values, so a
+// rollback restores overwritten entries (the same job can be re-placed
+// when Apply is called twice in one transaction) and deletes fresh ones.
+type jobUndo struct {
+	job      Job
+	had      bool
+	prevEnd  tm.Time
+	prevNode model.NodeID
+}
+
+// mapUndo records a mapping write with the prior binding.
+type mapUndo struct {
+	proc model.ProcID
+	had  bool
+	prev model.NodeID
+}
+
+// Begin opens a transaction on the state. The returned transaction is
+// owned by the state and reused across Begin calls; it panics if a
+// transaction is already open.
+func (s *State) Begin() *Txn {
+	if s.txn != nil && s.txn.open {
+		panic("sched: Begin with a transaction already open")
+	}
+	if s.txn == nil {
+		s.txn = &Txn{st: s, dirty: make(map[model.NodeID]struct{})}
+	}
+	t := s.txn
+	t.open = true
+	t.procsLen, t.msgsLen = len(s.procs), len(s.msgs)
+	t.busy = t.busy[:0]
+	t.bus.Reset()
+	t.jobs = t.jobs[:0]
+	t.maps = t.maps[:0]
+	clear(t.dirty)
+	return t
+}
+
+// tx returns the state's open transaction, nil when none is open: the
+// one nil check the scheduling hot path pays for undo logging.
+func (s *State) tx() *Txn {
+	if s.txn != nil && s.txn.open {
+		return s.txn
+	}
+	return nil
+}
+
+// Apply schedules app into the state under the transaction, recording
+// every write in the undo log. It is ScheduleApp with rollback support:
+// on error the state holds the partial placements of the failed attempt,
+// and Rollback removes them together with everything else applied since
+// Begin.
+func (t *Txn) Apply(app *model.Application, mapping model.Mapping, hints Hints) error {
+	if !t.open {
+		panic("sched: Apply on a closed transaction")
+	}
+	return t.st.ScheduleApp(app, mapping, hints)
+}
+
+// Commit keeps every applied placement and closes the transaction,
+// discarding the undo log.
+func (t *Txn) Commit() {
+	if !t.open {
+		panic("sched: Commit on a closed transaction")
+	}
+	t.open = false
+}
+
+// Rollback restores the exact pre-Begin state and closes the
+// transaction. The cost is proportional to the applied delta, not to the
+// size of the schedule: each inserted busy interval is removed, each bus
+// reservation released (newest first), the entry slices are truncated,
+// and each overwritten job/mapping entry is restored in reverse order.
+func (t *Txn) Rollback() {
+	if !t.open {
+		panic("sched: Rollback on a closed transaction")
+	}
+	s := t.st
+	for i := len(t.busy) - 1; i >= 0; i-- {
+		u := t.busy[i]
+		s.busy[u.node].Remove(u.iv)
+	}
+	s.bus.Revert(&t.bus)
+	s.procs = s.procs[:t.procsLen]
+	s.msgs = s.msgs[:t.msgsLen]
+	for i := len(t.jobs) - 1; i >= 0; i-- {
+		u := t.jobs[i]
+		if u.had {
+			s.jobEnd[u.job] = u.prevEnd
+			s.jobNode[u.job] = u.prevNode
+		} else {
+			delete(s.jobEnd, u.job)
+			delete(s.jobNode, u.job)
+		}
+	}
+	for i := len(t.maps) - 1; i >= 0; i-- {
+		u := t.maps[i]
+		if u.had {
+			s.mapping[u.proc] = u.prev
+		} else {
+			delete(s.mapping, u.proc)
+		}
+	}
+	t.open = false
+}
+
+// recordBusy logs one inserted busy interval and marks its node dirty.
+func (t *Txn) recordBusy(node model.NodeID, iv tm.Interval) {
+	t.busy = append(t.busy, busyInsert{node: node, iv: iv})
+	t.dirty[node] = struct{}{}
+}
+
+// recordJob logs the prior jobEnd/jobNode entry of j before it is set.
+func (t *Txn) recordJob(j Job) {
+	prevEnd, had := t.st.jobEnd[j]
+	t.jobs = append(t.jobs, jobUndo{job: j, had: had, prevEnd: prevEnd, prevNode: t.st.jobNode[j]})
+}
+
+// recordMap logs the prior mapping of p before it is overwritten.
+func (t *Txn) recordMap(p model.ProcID) {
+	prev, had := t.st.mapping[p]
+	t.maps = append(t.maps, mapUndo{proc: p, had: had, prev: prev})
+}
+
+// DirtyNode reports whether the transaction changed node n's timeline.
+func (t *Txn) DirtyNode(n model.NodeID) bool {
+	_, ok := t.dirty[n]
+	return ok
+}
+
+// DirtyNodeCount returns how many node timelines the transaction
+// changed.
+func (t *Txn) DirtyNodeCount() int { return len(t.dirty) }
+
+// DirtyNodes returns the changed nodes in ascending order.
+func (t *Txn) DirtyNodes() []model.NodeID {
+	out := make([]model.NodeID, 0, len(t.dirty))
+	for n := range t.dirty {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// BusDeltas returns the recorded slot reservations in record order (do
+// not modify): the dirty slot occurrences of the transaction.
+func (t *Txn) BusDeltas() []ttp.Delta { return t.bus.Deltas() }
+
+// DirtyIntervals returns the total number of touched intervals — busy
+// insertions plus bus reservation deltas — the size measure the
+// core.txn_dirty_intervals counter accumulates.
+func (t *Txn) DirtyIntervals() int { return len(t.busy) + t.bus.Len() }
+
+// Fingerprint serializes the state's full schedule content — busy
+// timelines, bus ledger, schedule tables, job bookkeeping and mapping —
+// into a deterministic byte string. Two states with equal fingerprints
+// are indistinguishable to every consumer (scheduling, slack analysis,
+// metrics); the transaction tests compare fingerprints around a
+// Begin/Apply/Rollback cycle to pin exact restoration.
+func (s *State) Fingerprint() []byte {
+	var b []byte
+	b = fmt.Appendf(b, "horizon=%d\n", s.horizon)
+	for _, n := range s.sys.Arch.NodeIDs() {
+		b = fmt.Appendf(b, "busy[%d]=%v\n", n, s.busy[n].Intervals())
+	}
+	for r := 0; r < s.bus.Rounds(); r++ {
+		for sl := 0; sl < s.bus.Bus().NumSlots(); sl++ {
+			if u := s.bus.Used(r, sl); u != 0 {
+				b = fmt.Appendf(b, "bus[%d,%d]=%d\n", r, sl, u)
+			}
+		}
+	}
+	for _, e := range s.procs {
+		b = fmt.Appendf(b, "proc=%+v\n", e)
+	}
+	for _, m := range s.msgs {
+		b = fmt.Appendf(b, "msg=%+v\n", m)
+	}
+	jobs := make([]Job, 0, len(s.jobEnd))
+	for j := range s.jobEnd {
+		jobs = append(jobs, j)
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].Proc != jobs[j].Proc {
+			return jobs[i].Proc < jobs[j].Proc
+		}
+		return jobs[i].Occ < jobs[j].Occ
+	})
+	for _, j := range jobs {
+		b = fmt.Appendf(b, "job=%+v end=%d node=%d\n", j, s.jobEnd[j], s.jobNode[j])
+	}
+	procs := make([]model.ProcID, 0, len(s.mapping))
+	for p := range s.mapping {
+		procs = append(procs, p)
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i] < procs[j] })
+	for _, p := range procs {
+		b = fmt.Appendf(b, "map[%d]=%d\n", p, s.mapping[p])
+	}
+	return b
+}

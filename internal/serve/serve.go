@@ -59,6 +59,10 @@ type Config struct {
 	RetainJobs int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Incremental is handed to every core.Solve call: the zero value
+	// enables transactional incremental evaluation,
+	// core.IncrementalOff restores full clone-and-rebuild per candidate.
+	Incremental core.IncrementalMode
 	// MaxBodyBytes bounds the POST /solve request body (default 64 MiB).
 	MaxBodyBytes int64
 }
@@ -310,6 +314,7 @@ func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveP
 	sol, err := core.Solve(ctx, p, core.Options{
 		Strategy:    strat,
 		Parallelism: parallelism,
+		Incremental: s.cfg.Incremental,
 		Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
 	})
 	if err != nil {

@@ -54,20 +54,33 @@ func Lengths(ivs []tm.Interval) []int64 {
 // minimum of these: slack must be available *periodically*, not just in
 // total.
 func WindowSlack(idle []tm.Interval, tmin, horizon tm.Time) []tm.Time {
+	return WindowSlackInto(nil, idle, tmin, horizon)
+}
+
+// WindowSlackInto is WindowSlack writing into dst (resized as needed):
+// the allocation-reusing form for callers that recompute per-window
+// slack once per candidate evaluation. The computed values are identical
+// to WindowSlack's.
+func WindowSlackInto(dst []tm.Time, idle []tm.Interval, tmin, horizon tm.Time) []tm.Time {
 	n := int(horizon / tmin)
 	if n == 0 {
 		// A horizon shorter than Tmin still has one (clipped) window.
 		n = 1
 		tmin = horizon
 	}
-	out := make([]tm.Time, n)
+	if cap(dst) < n {
+		dst = make([]tm.Time, n)
+	}
+	dst = dst[:n]
 	for w := 0; w < n; w++ {
 		win := tm.Iv(tm.Time(w)*tmin, tm.Time(w+1)*tmin)
+		var total tm.Time
 		for _, iv := range idle {
-			out[w] += iv.Intersect(win).Len()
+			total += iv.Intersect(win).Len()
 		}
+		dst[w] = total
 	}
-	return out
+	return dst
 }
 
 // MinWindowSlack returns the minimum per-window idle time.

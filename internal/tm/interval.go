@@ -137,44 +137,77 @@ func (s *Set) Insert(iv Interval) error {
 	return nil
 }
 
-// Remove deletes iv from the set, splitting intervals as needed.
+// Remove deletes iv from the set, splitting intervals as needed. It
+// works in place: removing an interval that was previously Inserted
+// restores the set exactly and (except when a split grows the interval
+// count past the backing array's capacity) performs no allocation —
+// the property the scheduler's transaction rollback relies on.
 func (s *Set) Remove(iv Interval) {
-	if iv.Empty() {
+	if iv.Empty() || len(s.ivs) == 0 {
 		return
 	}
-	out := s.ivs[:0:0]
-	for _, cur := range s.ivs {
-		if !cur.Overlaps(iv) {
-			out = append(out, cur)
-			continue
-		}
+	// The run [lo, hi) of intervals overlapping iv, and the surviving
+	// head/tail pieces of its first and last members.
+	lo := s.search(iv.Start)
+	hi := lo
+	var head, tail Interval
+	for hi < len(s.ivs) && s.ivs[hi].Start < iv.End {
+		cur := s.ivs[hi]
 		if cur.Start < iv.Start {
-			out = append(out, Interval{Start: cur.Start, End: iv.Start})
+			head = Interval{Start: cur.Start, End: iv.Start}
 		}
 		if cur.End > iv.End {
-			out = append(out, Interval{Start: iv.End, End: cur.End})
+			tail = Interval{Start: iv.End, End: cur.End}
 		}
+		hi++
 	}
-	s.ivs = out
+	if hi == lo {
+		return // nothing overlaps
+	}
+	var rep [2]Interval
+	n := 0
+	if !head.Empty() {
+		rep[n] = head
+		n++
+	}
+	if !tail.Empty() {
+		rep[n] = tail
+		n++
+	}
+	if removed := hi - lo; n <= removed {
+		copy(s.ivs[lo:], rep[:n])
+		s.ivs = append(s.ivs[:lo+n], s.ivs[hi:]...)
+	} else {
+		// One interval split into two: shift the tail right by one.
+		s.ivs = append(s.ivs, Interval{})
+		copy(s.ivs[lo+2:], s.ivs[lo+1:])
+		s.ivs[lo], s.ivs[lo+1] = rep[0], rep[1]
+	}
 }
 
 // Gaps returns the maximal free intervals inside window that are not
 // covered by the set, in ascending order.
 func (s *Set) Gaps(window Interval) []Interval {
-	var gaps []Interval
+	return s.AppendGaps(nil, window)
+}
+
+// AppendGaps appends the maximal free intervals inside window to buf and
+// returns the extended slice. It is the allocation-reusing form of Gaps
+// for callers that recompute slack once per candidate evaluation.
+func (s *Set) AppendGaps(buf []Interval, window Interval) []Interval {
 	cursor := window.Start
 	i := s.search(window.Start)
 	for ; i < len(s.ivs) && s.ivs[i].Start < window.End; i++ {
 		iv := s.ivs[i]
 		if iv.Start > cursor {
-			gaps = append(gaps, Interval{Start: cursor, End: iv.Start})
+			buf = append(buf, Interval{Start: cursor, End: iv.Start})
 		}
 		cursor = Max(cursor, iv.End)
 	}
 	if cursor < window.End {
-		gaps = append(gaps, Interval{Start: cursor, End: window.End})
+		buf = append(buf, Interval{Start: cursor, End: window.End})
 	}
-	return gaps
+	return buf
 }
 
 // FirstFit returns the earliest start s0 >= earliest such that
