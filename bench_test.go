@@ -72,7 +72,7 @@ func benchProblem(b *testing.B, size int) *core.Problem {
 
 // reducedSA keeps composite benchmarks bounded; BenchmarkStrategySA runs
 // the full default budget.
-var reducedSA = core.SAOptions{Iterations: 3000}
+var reducedSA = core.SAOptions{Seed: 1, Iterations: 3000, Restarts: 1}
 
 // BenchmarkFigDeviation regenerates the paper's first figure: per sweep
 // size, one op solves one test case with all three strategies and reports
@@ -83,15 +83,15 @@ func BenchmarkFigDeviation(b *testing.B) {
 			p := benchProblem(b, size)
 			var ahDev, mhDev float64
 			for i := 0; i < b.N; i++ {
-				ah, err := core.AdHoc(p)
+				ah, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				mh, err := core.MappingHeuristic(p, core.MHOptions{})
+				mh, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MH, Parallelism: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
-				sa, err := core.Anneal(p, reducedSA)
+				sa, err := core.Solve(context.Background(), p, core.Options{Strategy: core.SAWith(reducedSA), Parallelism: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -116,7 +116,7 @@ func BenchmarkStrategyAH(b *testing.B) {
 			p := benchProblem(b, size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.AdHoc(p); err != nil {
+				if _, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -131,7 +131,7 @@ func BenchmarkStrategyMH(b *testing.B) {
 			p := benchProblem(b, size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.MappingHeuristic(p, core.MHOptions{}); err != nil {
+				if _, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MH, Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -148,7 +148,7 @@ func BenchmarkStrategySA(b *testing.B) {
 			p := benchProblem(b, size)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Anneal(p, core.SAOptions{}); err != nil {
+				if _, err := core.Solve(context.Background(), p, core.Options{Strategy: core.SAWith(core.SAOptions{Seed: 1}), Parallelism: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -166,11 +166,11 @@ func BenchmarkFigFutureFit(b *testing.B) {
 	for _, size := range []int{40, 80, 160, 240} {
 		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
 			p := benchProblem(b, size)
-			ah, err := core.AdHoc(p)
+			ah, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
-			mh, err := core.MappingHeuristic(p, core.MHOptions{})
+			mh, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MH, Parallelism: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -212,7 +212,7 @@ func BenchmarkMHAblation(b *testing.B) {
 			var obj float64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				sol, err := core.MappingHeuristic(p, v.opts)
+				sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MHWith(v.opts), Parallelism: 1})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -350,7 +350,7 @@ func BenchmarkScheduleApp(b *testing.B) {
 	for _, size := range []int{40, 160, 320} {
 		b.Run(fmt.Sprintf("procs=%d", size), func(b *testing.B) {
 			p := benchProblem(b, size)
-			sol, err := core.AdHoc(p)
+			sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1})
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -369,7 +369,7 @@ func BenchmarkScheduleApp(b *testing.B) {
 // on a full design.
 func BenchmarkEvaluate(b *testing.B) {
 	p := benchProblem(b, 160)
-	sol, err := core.AdHoc(p)
+	sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -383,7 +383,7 @@ func BenchmarkEvaluate(b *testing.B) {
 // state, the unit of work behind every what-if evaluation.
 func BenchmarkStateClone(b *testing.B) {
 	p := benchProblem(b, 320)
-	sol, err := core.AdHoc(p)
+	sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.AH, Parallelism: 1})
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 //	incmap simulate [-sys file] [-design file.json] [-seed S]
 //	                [-overrun-prob P] [-overrun-factor F]
 //	incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]
+//	incmap session  init|commit|branch|rollback|log|diff|replay [-store DIR] ...
 //
 // generate emits a complete random test-case system as JSON (the last
 // application in the file is the current one). inspect summarizes a
@@ -64,6 +65,8 @@ func main() {
 		err = cmdSimulate(os.Args[2:])
 	case "convert":
 		err = cmdConvert(os.Args[2:])
+	case "session":
+		err = cmdSession(os.Args[2:])
 	default:
 		usage()
 		os.Exit(2)
@@ -83,7 +86,8 @@ func usage() {
                   [-trace file.jsonl] [-stats-out file.json] [-convergence]
   incmap verify   [-sys file] [-design file.json]
   incmap simulate [-sys file] [-design file.json] [-seed S] [-overrun-prob P]
-  incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]`)
+  incmap convert  [-tgff file.tgff] [-slot-bytes B] [-o file.json]
+  incmap session  init|commit|branch|rollback|log|diff|replay [-store DIR] ...`)
 }
 
 func cmdGenerate(args []string) error {

@@ -5,20 +5,35 @@
 //
 //	incmapd [-addr :8080] [-max-concurrent N] [-queue N]
 //	        [-job-timeout D] [-parallel N] [-retain N] [-pprof]
+//	        [-session-dir DIR]
 //
-// Endpoints:
+// Endpoints (API under /v1; the old unversioned solve paths remain as
+// aliases for one release):
 //
-//	POST   /solve              submit a system JSON; returns the solution document
-//	POST   /solve?detach=1     submit and return 202 + job id immediately
-//	GET    /solve/{id}         job status / result
-//	DELETE /solve/{id}         cancel (the engine keeps the best design so far)
-//	GET    /solve/{id}/events  SSE stream: trace events + cost-curve points
-//	GET    /metrics            Prometheus text exposition format
-//	GET    /healthz, /readyz   liveness / readiness probes
-//	GET    /debug/pprof/       profiling (only with -pprof)
+//	POST   /v1/solve              submit a system JSON; returns the solution document
+//	POST   /v1/solve?detach=1     submit and return 202 + job id immediately
+//	GET    /v1/solve/{id}         job status / result
+//	DELETE /v1/solve/{id}         cancel (the engine keeps the best design so far)
+//	GET    /v1/solve/{id}/events  SSE stream: trace events + cost-curve points
+//	POST   /v1/sessions           open a versioned design session over a base system
+//	GET    /v1/sessions           list sessions
+//	GET    /v1/sessions/{id}      version tree + branch heads
+//	DELETE /v1/sessions/{id}      delete a session
+//	POST   /v1/sessions/{id}/commits   commit an application JSON to a branch
+//	POST   /v1/sessions/{id}/branches  create a what-if branch from a version
+//	POST   /v1/sessions/{id}/rollback  move a branch head back to an ancestor
+//	GET    /v1/sessions/{id}/diff      placement + metric delta between versions
+//	GET    /metrics               Prometheus text exposition format
+//	GET    /healthz, /readyz      liveness / readiness probes
+//	GET    /debug/pprof/          profiling (only with -pprof)
 //
-// Query parameters of /solve: strategy=ah|mh|sa, app=<name>,
+// Query parameters of /v1/solve: strategy=ah|mh|sa, app=<name>,
 // sa-iters, sa-restarts, seed, parallel, timeout (Go duration).
+// /v1/sessions/{id}/commits accepts the same solve knobs plus branch=.
+//
+// With -session-dir sessions persist as JSON documents in that directory
+// and survive restarts (schedules are rematerialized by deterministic
+// replay); without it sessions are held in memory only.
 //
 // SIGINT/SIGTERM drain the server: readiness flips to 503, in-flight
 // solves are cancelled (returning best-so-far designs) and the listener
@@ -39,6 +54,7 @@ import (
 
 	"incdes/internal/core"
 	"incdes/internal/serve"
+	"incdes/internal/session"
 )
 
 func main() {
@@ -50,11 +66,20 @@ func main() {
 	retain := flag.Int("retain", 64, "finished jobs kept queryable")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	incremental := flag.Bool("incremental", true, "transactional incremental candidate evaluation (false = full rebuild per candidate)")
+	sessionDir := flag.String("session-dir", "", "directory for persistent design sessions (empty = in-memory only)")
 	flag.Parse()
 
 	mode := core.IncrementalOn
 	if !*incremental {
 		mode = core.IncrementalOff
+	}
+	var store session.Store
+	if *sessionDir != "" {
+		ds, err := session.NewDiskStore(*sessionDir)
+		if err != nil {
+			log.Fatalf("incmapd: %v", err)
+		}
+		store = ds
 	}
 	srv := serve.New(serve.Config{
 		MaxConcurrent: *maxConcurrent,
@@ -64,6 +89,7 @@ func main() {
 		RetainJobs:    *retain,
 		EnablePprof:   *pprofOn,
 		Incremental:   mode,
+		SessionStore:  store,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

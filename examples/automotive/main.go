@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -137,11 +138,11 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ah, err := core.AdHoc(problem)
+	ah, err := core.Solve(context.Background(), problem, core.Options{Strategy: core.AH})
 	if err != nil {
 		log.Fatal(err)
 	}
-	mh, err := core.MappingHeuristic(problem, core.MHOptions{})
+	mh, err := core.Solve(context.Background(), problem, core.Options{Strategy: core.MH})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -70,9 +71,11 @@ func main() {
 		return st
 	}
 	tracks := []*track{
-		{name: "AH", state: mkState(), place: core.AdHoc},
+		{name: "AH", state: mkState(), place: func(p *core.Problem) (*core.Solution, error) {
+			return core.Solve(context.Background(), p, core.Options{Strategy: core.AH})
+		}},
 		{name: "MH", state: mkState(), place: func(p *core.Problem) (*core.Solution, error) {
-			return core.MappingHeuristic(p, core.MHOptions{})
+			return core.Solve(context.Background(), p, core.Options{Strategy: core.MH})
 		}},
 	}
 

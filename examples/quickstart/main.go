@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -65,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	sol, err := core.MappingHeuristic(problem, core.MHOptions{})
+	sol, err := core.Solve(context.Background(), problem, core.Options{Strategy: core.MH})
 	if err != nil {
 		log.Fatal(err)
 	}

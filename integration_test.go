@@ -1,6 +1,7 @@
 package incdes_test
 
 import (
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -36,14 +37,17 @@ func TestEndToEndPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	ctx := context.Background()
 	solutions := map[string]*core.Solution{}
-	if solutions["AH"], err = core.AdHoc(p); err != nil {
+	if solutions["AH"], err = core.Solve(ctx, p, core.Options{Strategy: core.AH}); err != nil {
 		t.Fatalf("AH: %v", err)
 	}
-	if solutions["MH"], err = core.MappingHeuristic(p, core.MHOptions{}); err != nil {
+	if solutions["MH"], err = core.Solve(ctx, p, core.Options{Strategy: core.MH}); err != nil {
 		t.Fatalf("MH: %v", err)
 	}
-	if solutions["SA"], err = core.Anneal(p, core.SAOptions{Iterations: 500}); err != nil {
+	saOpts := core.DefaultSAOptions()
+	saOpts.Iterations = 500
+	if solutions["SA"], err = core.Solve(ctx, p, core.Options{Strategy: core.SAWith(saOpts)}); err != nil {
 		t.Fatalf("SA: %v", err)
 	}
 
@@ -149,7 +153,8 @@ func TestFixtureSystemLoads(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sol, err := core.MappingHeuristic(p, core.MHOptions{MaxIterations: 5})
+	sol, err := core.Solve(context.Background(), p,
+		core.Options{Strategy: core.MHWith(core.MHOptions{MaxIterations: 5})})
 	if err != nil {
 		t.Fatal(err)
 	}

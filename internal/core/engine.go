@@ -100,7 +100,11 @@ func newEngine(p *Problem, opts Options) *Engine {
 		incremental: opts.Incremental != IncrementalOff,
 	}
 	if e.incremental {
-		e.baseline = metrics.NewBaseline(p.Base, p.Profile, p.Weights)
+		if opts.Baseline != nil {
+			e.baseline = opts.Baseline
+		} else {
+			e.baseline = metrics.NewBaseline(p.Base, p.Profile, p.Weights)
+		}
 	}
 	if e.parallelism <= 0 {
 		e.parallelism = defaultParallelism()

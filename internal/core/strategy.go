@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"incdes/internal/metrics"
 	"incdes/internal/obs"
 )
 
@@ -94,6 +95,16 @@ type Options struct {
 	// full state per candidate. Solutions are byte-identical either way —
 	// the mode only changes speed.
 	Incremental IncrementalMode
+	// Baseline, when non-nil, is a pre-computed cache of the metric
+	// inputs of the problem's frozen base schedule, exactly as built by
+	// metrics.NewBaseline(p.Base, p.Profile, p.Weights); Solve then skips
+	// rebuilding it. This is the saving a design session exploits when
+	// several commits branch from one version: the slack analysis of the
+	// shared base is paid once. The caller is responsible for the
+	// baseline matching the problem — a stale or mismatched baseline
+	// yields undefined reports. Ignored when Incremental is
+	// IncrementalOff (the full-rebuild path never consults a baseline).
+	Baseline *metrics.Baseline
 	// Observer, when non-nil, attaches the observability layer: its
 	// Stats registry accumulates the engine/scheduler/bus counter catalog
 	// (see package obs) and its Tracer receives the structured decision

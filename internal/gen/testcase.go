@@ -1,6 +1,7 @@
 package gen
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -306,12 +307,15 @@ func (g *Generator) placeHistory(sys *model.System, st *sched.State,
 			// the periodic-slack structure from there. The history only
 			// has to be plausible, not optimal, and test-case generation
 			// must stay fast.
-			sol, err := core.MappingHeuristic(p, core.MHOptions{
-				MaxIterations:  8,
-				ProcCandidates: 3,
-				TargetsPerNode: 1,
-				MsgCandidates:  2,
-				SeedHints:      g.scatterHints(app),
+			sol, err := core.Solve(context.Background(), p, core.Options{
+				Strategy: core.MHWith(core.MHOptions{
+					MaxIterations:  8,
+					ProcCandidates: 3,
+					TargetsPerNode: 1,
+					MsgCandidates:  2,
+					SeedHints:      g.scatterHints(app),
+				}),
+				Parallelism: 1,
 			})
 			if err != nil {
 				return fmt.Errorf("gen: existing application %q unschedulable: %w", app.Name, err)

@@ -36,7 +36,7 @@ type Baseline struct {
 	items  []int64 // LargestAppWCETs, sorted decreasing (C1P objects)
 	mItems []int64 // LargestAppMsgBytes, sorted decreasing (C1m objects)
 
-	gapLens  map[model.NodeID][]int64  // slack interval lengths per node
+	gapLens  map[model.NodeID][]int64 // slack interval lengths per node
 	winSlack map[model.NodeID][]tm.Time
 
 	busFree  []int64 // free bytes per slot occurrence, time order

@@ -77,6 +77,17 @@ const (
 	GagTTPUsedBytes = "ttp.slot_used_bytes"     // reserved bytes over the horizon
 	GagTTPCapBytes  = "ttp.slot_capacity_bytes" // total slot capacity over the horizon
 	GagTTPUsedSlots = "ttp.slots_occupied"      // slot occurrences carrying >= 1 byte
+
+	// Versioned design sessions (internal/session).
+	CtrSessOpens          = "session.opens"           // sessions opened
+	CtrSessCommits        = "session.commits"         // committed versions created
+	CtrSessBranches       = "session.branches"        // branches created
+	CtrSessRollbacks      = "session.rollbacks"       // branch heads rolled back
+	CtrSessDiffs          = "session.diffs"           // version diffs computed
+	CtrSessReplays        = "session.replays"         // versions rematerialized by replay
+	CtrSessBaselineBuilds = "session.baseline_builds" // metric baselines computed for a version
+	CtrSessBaselineReuses = "session.baseline_reuses" // commits served from a cached baseline
+	GagSessLive           = "session.live"            // gauge: sessions resident in memory
 )
 
 // InstrumentKind classifies a catalog instrument.
@@ -131,6 +142,15 @@ var catalog = []Instrument{
 	{GagTTPUsedBytes, KindGauge, "reserved bus bytes over the horizon"},
 	{GagTTPCapBytes, KindGauge, "total slot capacity over the horizon"},
 	{GagTTPUsedSlots, KindGauge, "slot occurrences carrying at least one byte"},
+	{CtrSessOpens, KindCounter, "design sessions opened"},
+	{CtrSessCommits, KindCounter, "session versions committed"},
+	{CtrSessBranches, KindCounter, "session branches created"},
+	{CtrSessRollbacks, KindCounter, "session branch heads rolled back"},
+	{CtrSessDiffs, KindCounter, "session version diffs computed"},
+	{CtrSessReplays, KindCounter, "session versions rematerialized by replay"},
+	{CtrSessBaselineBuilds, KindCounter, "session metric baselines computed"},
+	{CtrSessBaselineReuses, KindCounter, "session commits served from a cached baseline"},
+	{GagSessLive, KindGauge, "design sessions resident in memory"},
 }
 
 // Catalog returns the declared instrument set in documentation order.

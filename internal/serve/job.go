@@ -183,6 +183,17 @@ func (b *eventBuffer) next(from int) (evs []obs.TraceEvent, done bool, wait <-ch
 	return nil, false, ch
 }
 
+// CommitInfo annotates a job that ran as a session commit: which
+// session and branch it advanced, and the version it created (-1 when
+// the solve was interrupted and no version was frozen).
+type CommitInfo struct {
+	Session        string `json:"session"`
+	Branch         string `json:"branch"`
+	Version        int    `json:"version"`
+	Parent         int    `json:"parent"`
+	BaselineReused bool   `json:"baseline_reused,omitempty"`
+}
+
 // job is one solve request moving through the bounded manager.
 type job struct {
 	id       string
@@ -194,8 +205,21 @@ type job struct {
 	mu     sync.Mutex
 	status string
 	doc    *SolutionDoc
+	commit *CommitInfo // set by session-commit work before finish
 	err    error
 	done   chan struct{}
+}
+
+func (j *job) setCommit(c *CommitInfo) {
+	j.mu.Lock()
+	j.commit = c
+	j.mu.Unlock()
+}
+
+func (j *job) commitInfo() *CommitInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.commit
 }
 
 func (j *job) setStatus(s string) {

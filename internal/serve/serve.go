@@ -1,22 +1,41 @@
 // Package serve is the HTTP layer of cmd/incmapd: a long-running solve
-// service over the engine. It exposes
+// service over the engine. The API lives under the /v1 prefix:
 //
-//	POST   /solve              submit a system; runs core.Solve, returns the solution
-//	GET    /solve/{id}         job status / result document
-//	DELETE /solve/{id}         cancel a job (the engine returns best-so-far)
-//	GET    /solve/{id}/events  SSE stream of the job's trace + cost-curve points
-//	GET    /metrics            Prometheus text exposition (catalog + process gauges)
-//	GET    /healthz, /readyz   liveness / readiness
-//	GET    /debug/pprof/...    net/http/pprof, when Config.EnablePprof
+//	POST   /v1/solve              submit a system; runs core.Solve, returns the solution
+//	GET    /v1/solve/{id}         job status / result document
+//	DELETE /v1/solve/{id}         cancel a job (the engine returns best-so-far)
+//	GET    /v1/solve/{id}/events  SSE stream of the job's trace + cost-curve points
+//
+//	POST   /v1/sessions                    open a versioned design session over a base system
+//	GET    /v1/sessions                    list session IDs
+//	GET    /v1/sessions/{id}               session document (version tree + branches)
+//	DELETE /v1/sessions/{id}               delete a session
+//	POST   /v1/sessions/{id}/commits       commit one application to a branch (sync or detach=1)
+//	POST   /v1/sessions/{id}/branches      create a branch from a version
+//	POST   /v1/sessions/{id}/rollback      move a branch head back to an ancestor
+//	GET    /v1/sessions/{id}/diff          placement + metric delta between two versions
+//
+//	GET    /metrics               Prometheus text exposition (catalog + process gauges)
+//	GET    /healthz, /readyz      liveness / readiness
+//	GET    /debug/pprof/...       net/http/pprof, when Config.EnablePprof
+//
+// The pre-/v1 solve paths (POST /solve, ...) remain mounted as exact
+// aliases of their /v1 twins for one release; new endpoints (sessions)
+// are /v1-only. Infrastructure endpoints (/metrics, /healthz, /readyz,
+// /debug/pprof) are unversioned by design. Every error response uses one
+// envelope: {"error":{"code","message","retry_after_s"?}}.
 //
 // Every job runs with its own obs.Registry and an SSE event buffer as
 // its tracer, reusing the engine's deterministic emission points: the
 // streamed event order is the canonical trace order, identical at any
 // parallelism. Completed jobs fold their registry into per-strategy
-// aggregates (plus an "all" aggregate) that /metrics renders.
+// aggregates (plus an "all" aggregate) that /metrics renders. Session
+// commits run through the same bounded job manager as one-shot solves,
+// so queue limits, timeouts, SSE streaming and cancellation behave
+// identically for both.
 //
 // The manager is bounded: at most MaxConcurrent solves run at once,
-// at most QueueDepth wait behind them (beyond that POST /solve returns
+// at most QueueDepth wait behind them (beyond that POST /v1/solve returns
 // 429), each job is capped by JobTimeout, and a client disconnect
 // cancels its synchronous solve — the engine then returns the best
 // design found so far, marked Interrupted.
@@ -25,11 +44,13 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +59,7 @@ import (
 	"incdes/internal/model"
 	"incdes/internal/obs"
 	"incdes/internal/obs/promtext"
+	"incdes/internal/session"
 )
 
 // Config tunes a Server. Zero values select the documented defaults.
@@ -65,6 +87,10 @@ type Config struct {
 	Incremental core.IncrementalMode
 	// MaxBodyBytes bounds the POST /solve request body (default 64 MiB).
 	MaxBodyBytes int64
+	// SessionStore persists versioned design sessions. nil selects an
+	// in-memory store (sessions die with the process); cmd/incmapd wires
+	// a session.DiskStore here for durable sessions.
+	SessionStore session.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +123,9 @@ type Server struct {
 	sem     chan struct{} // MaxConcurrent slots
 	running atomic.Int64
 	queued  atomic.Int64
+
+	sessions *session.Manager
+	sessErr  error // deferred session-manager init failure
 
 	mu       sync.Mutex
 	nextID   int64
@@ -134,14 +163,33 @@ func New(cfg Config) *Server {
 			s.global.Timer(ins.Name)
 		}
 	}
+	// Session manager: session.* instruments land in the global aggregate
+	// registry (the catalog pre-seed above already exposes them as zeros).
+	store := cfg.SessionStore
+	if store == nil {
+		store = session.NewMemStore()
+	}
+	s.sessions, s.sessErr = session.NewManager(store, s.global)
+
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /solve", s.handleSolve)
-	s.mux.HandleFunc("GET /solve/{id}", s.handleJobStatus)
-	s.mux.HandleFunc("DELETE /solve/{id}", s.handleJobCancel)
-	s.mux.HandleFunc("GET /solve/{id}/events", s.handleJobEvents)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	// Solve endpoints: canonical under /v1, pre-/v1 path kept as an exact
+	// alias for one release (see the package comment).
+	s.handleV1("POST /solve", s.handleSolve)
+	s.handleV1("GET /solve/{id}", s.handleJobStatus)
+	s.handleV1("DELETE /solve/{id}", s.handleJobCancel)
+	s.handleV1("GET /solve/{id}/events", s.handleJobEvents)
+	// Session endpoints are /v1-only: they never existed unversioned.
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionOpen)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/commits", s.handleSessionCommit)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/branches", s.handleSessionBranch)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/rollback", s.handleSessionRollback)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/diff", s.handleSessionDiff)
+	s.handleV1("GET /metrics", s.handleMetrics)
+	s.handleV1("GET /healthz", s.handleHealthz)
+	s.handleV1("GET /readyz", s.handleReadyz)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -151,6 +199,18 @@ func New(cfg Config) *Server {
 	}
 	s.ready.Store(true)
 	return s
+}
+
+// handleV1 registers a handler under the /v1 prefix and mirrors it on
+// the legacy unversioned path, so "POST /solve" serves both
+// "POST /v1/solve" and "POST /solve" with one implementation.
+func (s *Server) handleV1(pattern string, h http.HandlerFunc) {
+	method, path, ok := strings.Cut(pattern, " ")
+	if !ok {
+		panic("serve: route pattern without method: " + pattern)
+	}
+	s.mux.HandleFunc(method+" /v1"+path, h)
+	s.mux.HandleFunc(pattern, h)
 }
 
 // Handler returns the service's HTTP handler.
@@ -170,13 +230,14 @@ type JobStatusDoc struct {
 	Status   string        `json:"status"`
 	Strategy string        `json:"strategy"`
 	Error    string        `json:"error,omitempty"`
+	Commit   *CommitInfo   `json:"commit,omitempty"`
 	Solution *SolutionDoc  `json:"solution,omitempty"`
 	Stats    *obs.Snapshot `json:"stats,omitempty"`
 }
 
 func (s *Server) statusDoc(j *job) *JobStatusDoc {
 	status, doc, err := j.snapshot()
-	out := &JobStatusDoc{ID: j.id, Status: status, Strategy: j.strategy, Solution: doc}
+	out := &JobStatusDoc{ID: j.id, Status: status, Strategy: j.strategy, Commit: j.commitInfo(), Solution: doc}
 	if err != nil {
 		out.Error = err.Error()
 	}
@@ -194,8 +255,70 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// Stable machine-readable error codes of the unified error envelope.
+// Clients switch on the code; the message is for humans only.
+const (
+	ErrCodeBadRequest    = "bad_request"    // malformed query, body or parameter
+	ErrCodeNotFound      = "not_found"      // unknown job, session, branch or version
+	ErrCodeInvalidInput  = "invalid_input"  // well-formed but unusable problem input
+	ErrCodeQueueFull     = "queue_full"     // solve queue at capacity; retry later
+	ErrCodeDraining      = "draining"       // server is shutting down
+	ErrCodeIllegalCommit = "illegal_commit" // commit violates the session legality rule
+	ErrCodeConflict      = "conflict"       // concurrent modification or duplicate
+	ErrCodeCorrupt       = "corrupt"        // stored session fails fingerprint replay
+	ErrCodeUnsupported   = "unsupported"    // transport capability missing (e.g. no streaming)
+	ErrCodeInternal      = "internal"       // unexpected server-side failure
+)
+
+// ErrorBody is the payload of the unified error envelope.
+type ErrorBody struct {
+	Code        string  `json:"code"`
+	Message     string  `json:"message"`
+	RetryAfterS float64 `json:"retry_after_s,omitempty"`
+}
+
+// ErrorDoc is the unified JSON error envelope every serve handler
+// returns on failure: {"error":{"code","message","retry_after_s"?}}.
+type ErrorDoc struct {
+	Error ErrorBody `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, ErrorDoc{Error: ErrorBody{Code: code, Message: fmt.Sprintf(format, args...)}})
+}
+
+// writeRetryError is writeError plus retry advice, in both the HTTP
+// Retry-After header and the envelope's retry_after_s field.
+func writeRetryError(w http.ResponseWriter, status int, code string, retryAfter time.Duration, format string, args ...any) {
+	w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter.Seconds())))
+	writeJSON(w, status, ErrorDoc{Error: ErrorBody{
+		Code:        code,
+		Message:     fmt.Sprintf(format, args...),
+		RetryAfterS: retryAfter.Seconds(),
+	}})
+}
+
+// writeSessionError maps the session package's sentinel errors onto the
+// envelope. Anything unrecognized is an internal error.
+func writeSessionError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, session.ErrNotFound),
+		errors.Is(err, session.ErrUnknownBranch),
+		errors.Is(err, session.ErrUnknownVersion):
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "%v", err)
+	case errors.Is(err, session.ErrIllegalCommit),
+		errors.Is(err, session.ErrNotAncestor),
+		errors.Is(err, core.ErrUnschedulable):
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeIllegalCommit, "%v", err)
+	case errors.Is(err, session.ErrBranchExists),
+		errors.Is(err, session.ErrConflict),
+		errors.Is(err, session.ErrExists):
+		writeError(w, http.StatusConflict, ErrCodeConflict, "%v", err)
+	case errors.Is(err, session.ErrCorrupt):
+		writeError(w, http.StatusInternalServerError, ErrCodeCorrupt, "%v", err)
+	default:
+		writeError(w, http.StatusInternalServerError, ErrCodeInternal, "%v", err)
+	}
 }
 
 // parseSolveParams decodes the POST /solve query string.
@@ -261,11 +384,12 @@ func (s *Server) submit(strategyTag string) (*job, error) {
 	return j, nil
 }
 
-// run executes one job to completion: waits for a worker slot, solves,
-// records the outcome and folds the job's registry into the aggregates.
-// ctx should already be bound to the client (sync) or the server
-// (detached); run adds the timeout and server-shutdown cancellation.
-func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveParams) {
+// run executes one job to completion: waits for a worker slot, invokes
+// the job's work closure (a one-shot solve or a session commit), records
+// the outcome and folds the job's registry into the aggregates. ctx
+// should already be bound to the client (sync) or the server (detached);
+// run adds the timeout and server-shutdown cancellation.
+func (s *Server) run(ctx context.Context, j *job, requested time.Duration, work func(context.Context) (*SolutionDoc, error)) {
 	ctx, cancel := context.WithCancel(ctx)
 	j.mu.Lock()
 	j.cancel = cancel
@@ -273,7 +397,7 @@ func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveP
 	defer cancel()
 	stopWatch := context.AfterFunc(s.baseCtx, cancel) // shutdown cancels jobs
 	defer stopWatch()
-	timeout := params.Timeout
+	timeout := requested
 	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
 		timeout = s.cfg.JobTimeout
 	}
@@ -301,28 +425,7 @@ func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveP
 	}()
 	j.setStatus(StatusRunning)
 
-	strat, err := params.strategy() // validated at submit; cannot fail here
-	if err != nil {
-		j.finish(nil, err)
-		s.finalize(j)
-		return
-	}
-	parallelism := params.Parallel
-	if parallelism <= 0 {
-		parallelism = s.cfg.Parallelism
-	}
-	sol, err := core.Solve(ctx, p, core.Options{
-		Strategy:    strat,
-		Parallelism: parallelism,
-		Incremental: s.cfg.Incremental,
-		Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
-	})
-	if err != nil {
-		j.finish(nil, err)
-		s.finalize(j)
-		return
-	}
-	doc, err := NewSolutionDoc(sol)
+	doc, err := work(ctx)
 	if err != nil {
 		j.finish(nil, err)
 		s.finalize(j)
@@ -330,6 +433,40 @@ func (s *Server) run(ctx context.Context, j *job, p *core.Problem, params SolveP
 	}
 	j.finish(doc, nil)
 	s.finalize(j)
+}
+
+// solveWork builds a one-shot solve's work closure. Building the problem
+// already scheduled every frozen application once (BuildProblem walks
+// them in arrival order), so each counts as one examined design
+// alternative — the per-request base-reconstruction cost that versioned
+// sessions amortize across commits.
+func (s *Server) solveWork(j *job, p *core.Problem, frozen int, params SolveParams) func(context.Context) (*SolutionDoc, error) {
+	return func(ctx context.Context) (*SolutionDoc, error) {
+		strat, err := params.strategy() // validated at submit; cannot fail here
+		if err != nil {
+			return nil, err
+		}
+		if frozen > 0 {
+			j.reg.Counter(obs.CtrEvaluations).Add(int64(frozen))
+		}
+		sol, err := core.Solve(ctx, p, core.Options{
+			Strategy:    strat,
+			Parallelism: s.parallelism(params),
+			Incremental: s.cfg.Incremental,
+			Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
+		})
+		if err != nil {
+			return nil, err
+		}
+		return NewSolutionDoc(sol)
+	}
+}
+
+func (s *Server) parallelism(params SolveParams) int {
+	if params.Parallel > 0 {
+		return params.Parallel
+	}
+	return s.cfg.Parallelism
 }
 
 // finalize folds a finished job into the aggregates and evicts the
@@ -376,48 +513,48 @@ func (s *Server) job(id string) *job {
 
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if !s.ready.Load() {
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeRetryError(w, http.StatusServiceUnavailable, ErrCodeDraining, time.Second, "server is draining")
 		return
 	}
 	params, err := parseSolveParams(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	strat, err := params.strategy()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "%v", err)
 		return
 	}
 	sys, err := model.ReadSystem(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "reading system: %v", err)
+		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "reading system: %v", err)
 		return
 	}
 	p, err := BuildProblem(sys, params.App)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "building problem: %v", err)
+		writeError(w, http.StatusUnprocessableEntity, ErrCodeInvalidInput, "building problem: %v", err)
 		return
 	}
 	j, err := s.submit(strat.Name())
 	if err != nil {
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeRetryError(w, http.StatusTooManyRequests, ErrCodeQueueFull, time.Second, "%v", err)
 		return
 	}
+	work := s.solveWork(j, p, len(sys.Apps)-1, params)
 	if params.Detach {
 		// Detached jobs belong to the server, not the request: the job
 		// outlives the connection and is cancelled only by DELETE,
 		// timeout, or shutdown.
-		go s.run(s.baseCtx, j, p, params)
-		w.Header().Set("Location", "/solve/"+j.id)
+		go s.run(s.baseCtx, j, params.Timeout, work)
+		w.Header().Set("Location", "/v1/solve/"+j.id)
 		writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
 		return
 	}
 	// Synchronous: the job is bound to the connection. A client
 	// disconnect cancels the solve and the engine reports the best
 	// design found so far, marked interrupted.
-	s.run(r.Context(), j, p, params)
+	s.run(r.Context(), j, params.Timeout, work)
 	doc := s.statusDoc(j)
 	if doc.Status == StatusFailed {
 		writeJSON(w, http.StatusUnprocessableEntity, doc)
@@ -429,7 +566,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	writeJSON(w, http.StatusOK, s.statusDoc(j))
@@ -438,7 +575,7 @@ func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	j.mu.Lock()
@@ -460,12 +597,12 @@ type ssePayload struct {
 func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	j := s.job(r.PathValue("id"))
 	if j == nil {
-		writeError(w, http.StatusNotFound, "no such job")
+		writeError(w, http.StatusNotFound, ErrCodeNotFound, "no such job")
 		return
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusNotImplemented, "streaming unsupported")
+		writeError(w, http.StatusNotImplemented, ErrCodeUnsupported, "streaming unsupported")
 		return
 	}
 	h := w.Header()

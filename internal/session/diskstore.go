@@ -1,0 +1,121 @@
+package session
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// idRe limits session IDs to file-name-safe tokens; the disk store
+// enforces it so an ID can never escape its directory.
+var idRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
+
+// DiskStore persists sessions as one JSON document per session under a
+// directory, written atomically (temp file + rename) so a crash mid-write
+// never leaves a truncated document behind. It is the durable Store:
+// a restarted daemon reopens its sessions from here and rematerializes
+// schedule states by replay.
+type DiskStore struct {
+	dir string
+}
+
+// NewDiskStore opens (creating if needed) the store directory.
+func NewDiskStore(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("session: store dir %s: %w", dir, err)
+	}
+	return &DiskStore{dir: dir}, nil
+}
+
+// Dir returns the store's directory.
+func (s *DiskStore) Dir() string { return s.dir }
+
+func (s *DiskStore) path(id string) (string, error) {
+	if !idRe.MatchString(id) {
+		return "", fmt.Errorf("session: invalid session id %q", id)
+	}
+	return filepath.Join(s.dir, id+".json"), nil
+}
+
+// Put implements Store: the document is assembled in a temporary file in
+// the store directory and renamed over the destination only after a
+// complete write.
+func (s *DiskStore) Put(doc *Doc) error {
+	path, err := s.path(doc.ID)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(s.dir, doc.ID+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("session: writing %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if err := EncodeDoc(tmp, doc); err != nil {
+		tmp.Close()
+		return fmt.Errorf("session: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("session: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("session: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(id string) (*Doc, error) {
+	path, err := s.path(id)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, ErrNotFound
+	}
+	if err != nil {
+		return nil, fmt.Errorf("session: reading %s: %w", path, err)
+	}
+	defer f.Close()
+	doc, err := DecodeDoc(f)
+	if err != nil {
+		return nil, fmt.Errorf("session: reading %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(id string) error {
+	path, err := s.path(id)
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("session: deleting %s: %w", path, err)
+	}
+	return nil
+}
+
+// List implements Store: every *.json entry in the directory, by name.
+func (s *DiskStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("session: listing %s: %w", s.dir, err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".json")
+		if idRe.MatchString(id) {
+			ids = append(ids, id)
+		}
+	}
+	return ids, nil
+}

@@ -1,0 +1,71 @@
+package session_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"incdes/internal/core"
+	"incdes/internal/session"
+)
+
+// FuzzDecodeDoc hardens the session-document loader, the trust boundary
+// every stored session crosses on reload: arbitrary bytes must never
+// panic, and every accepted document must satisfy the structural
+// invariants, re-encode canonically, and re-decode to the byte-identical
+// canonical form (decode∘encode is a fixed point).
+func FuzzDecodeDoc(f *testing.F) {
+	// Seed with a real two-version document produced by the library.
+	sys, commits, _ := fixture(f)
+	m, err := session.NewManager(session.NewMemStore(), nil)
+	if err != nil {
+		f.Fatal(err)
+	}
+	sess, err := m.Open(sys, nil, "")
+	if err != nil {
+		f.Fatal(err)
+	}
+	if _, err := sess.Commit(context.Background(), commits[0],
+		session.CommitParams{Strategy: core.AH, Parallelism: 1}); err != nil {
+		f.Fatal(err)
+	}
+	doc, err := sess.Doc()
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := session.EncodeDoc(&buf, doc); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"schema_version":1}`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := session.DecodeDoc(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted implies valid — DecodeDoc validates, so this is the
+		// idempotence check.
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted document fails validation: %v", err)
+		}
+		var out bytes.Buffer
+		if err := session.EncodeDoc(&out, got); err != nil {
+			t.Fatalf("accepted document fails to encode: %v", err)
+		}
+		again, err := session.DecodeDoc(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("canonical encoding fails to re-decode: %v", err)
+		}
+		var out2 bytes.Buffer
+		if err := session.EncodeDoc(&out2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), out2.Bytes()) {
+			t.Fatal("canonical encoding is not a fixed point")
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package session
+
+import (
+	"bytes"
+	"sync"
+)
+
+// MemStore is the in-memory Store: documents live only as long as the
+// process. It stores the canonical encoding rather than the document
+// pointer, so Put/Get have the same copy and re-validation semantics as
+// the disk store and a round-trip bug cannot hide behind shared memory.
+type MemStore struct {
+	mu   sync.RWMutex
+	docs map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{docs: map[string][]byte{}}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(doc *Doc) error {
+	var buf bytes.Buffer
+	if err := EncodeDoc(&buf, doc); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.docs[doc.ID] = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(id string) (*Doc, error) {
+	s.mu.RLock()
+	data, ok := s.docs[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return DecodeDoc(bytes.NewReader(data))
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(id string) error {
+	s.mu.Lock()
+	delete(s.docs, id)
+	s.mu.Unlock()
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List() ([]string, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.docs))
+	for id := range s.docs {
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

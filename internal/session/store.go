@@ -1,0 +1,26 @@
+package session
+
+import "errors"
+
+// ErrNotFound is returned by stores (and the Manager) for unknown
+// session IDs.
+var ErrNotFound = errors.New("session: not found")
+
+// Store persists session documents. Implementations must be safe for
+// concurrent use and must not retain or alias the documents they are
+// handed: Put snapshots the document before returning and Get returns a
+// fresh copy every call, so a caller mutating its copy can never corrupt
+// the stored one. Both built-in stores (memory, disk) round-trip through
+// the canonical JSON encoding, which also re-validates every document on
+// the way out.
+type Store interface {
+	// Put writes the document under doc.ID, replacing any previous
+	// revision atomically.
+	Put(doc *Doc) error
+	// Get returns the stored document, or ErrNotFound.
+	Get(id string) (*Doc, error)
+	// Delete removes the document; deleting an absent ID is not an error.
+	Delete(id string) error
+	// List returns the stored session IDs in unspecified order.
+	List() ([]string, error)
+}

@@ -1,0 +1,190 @@
+package session_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"incdes/internal/session"
+)
+
+// sampleDoc builds a real session document (root version plus one
+// commit) by driving the library, so the conformance suite exercises
+// everything a production document contains.
+func sampleDoc(t *testing.T) *session.Doc {
+	t.Helper()
+	_, commits, _ := fixture(t)
+	_, sess := open(t, session.NewMemStore())
+	commit(t, sess, commits[0], session.CommitParams{})
+	doc, err := sess.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func encodeDoc(t *testing.T, d *session.Doc) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := session.EncodeDoc(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStoreConformance runs the identical contract suite over both
+// built-in stores: round-trip fidelity, ErrNotFound, replace, tolerant
+// delete, listing, and the no-aliasing rule (mutating a document before
+// or after the store call never changes what the store returns).
+func TestStoreConformance(t *testing.T) {
+	stores := []struct {
+		name string
+		mk   func(t *testing.T) session.Store
+	}{
+		{"mem", func(t *testing.T) session.Store { return session.NewMemStore() }},
+		{"disk", func(t *testing.T) session.Store {
+			st, err := session.NewDiskStore(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			return st
+		}},
+	}
+	for _, tc := range stores {
+		t.Run(tc.name, func(t *testing.T) {
+			st := tc.mk(t)
+			doc := sampleDoc(t)
+			want := encodeDoc(t, doc)
+
+			if _, err := st.Get(doc.ID); !errors.Is(err, session.ErrNotFound) {
+				t.Fatalf("Get before Put: err = %v, want ErrNotFound", err)
+			}
+			if err := st.Put(doc); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			// Mutating our copy after Put must not reach the store.
+			doc.Branches["rogue"] = 0
+			got, err := st.Get(doc.ID)
+			delete(doc.Branches, "rogue")
+			if err != nil {
+				t.Fatalf("Get: %v", err)
+			}
+			if !bytes.Equal(encodeDoc(t, got), want) {
+				t.Fatal("stored document does not round-trip canonically")
+			}
+			// Mutating the returned copy must not reach the store either.
+			got.Branches["rogue"] = 0
+			again, err := st.Get(doc.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encodeDoc(t, again), want) {
+				t.Fatal("store aliases the document it returns")
+			}
+
+			// Replace with a new revision.
+			doc2 := got
+			delete(doc2.Branches, "rogue")
+			doc2.Branches["alt"] = 0
+			if err := st.Put(doc2); err != nil {
+				t.Fatalf("Put (replace): %v", err)
+			}
+			rev, err := st.Get(doc.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := rev.Branches["alt"]; !ok {
+				t.Fatal("replace did not persist the new revision")
+			}
+
+			ids, err := st.List()
+			if err != nil {
+				t.Fatalf("List: %v", err)
+			}
+			sort.Strings(ids)
+			if len(ids) != 1 || ids[0] != doc.ID {
+				t.Fatalf("List = %v, want [%s]", ids, doc.ID)
+			}
+
+			if err := st.Delete(doc.ID); err != nil {
+				t.Fatalf("Delete: %v", err)
+			}
+			if _, err := st.Get(doc.ID); !errors.Is(err, session.ErrNotFound) {
+				t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+			}
+			if err := st.Delete(doc.ID); err != nil {
+				t.Fatalf("Delete (absent): %v", err)
+			}
+			if ids, err := st.List(); err != nil || len(ids) != 0 {
+				t.Fatalf("List after Delete = %v, %v; want empty", ids, err)
+			}
+		})
+	}
+}
+
+// TestDiskStoreRoundTrip pins durability across process restarts: a
+// second DiskStore over the same directory returns the byte-identical
+// canonical document. (CI's fuzz-smoke matrix runs this by name.)
+func TestDiskStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := sampleDoc(t)
+	want := encodeDoc(t, doc)
+	if err := st.Put(doc); err != nil {
+		t.Fatal(err)
+	}
+
+	reopened, err := session.NewDiskStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.Dir() != dir {
+		t.Fatalf("Dir() = %q, want %q", reopened.Dir(), dir)
+	}
+	got, err := reopened.Get(doc.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(encodeDoc(t, got), want) {
+		t.Fatal("disk round trip is not byte-identical")
+	}
+
+	// The on-disk form is exactly the canonical encoding.
+	raw, err := os.ReadFile(filepath.Join(dir, doc.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, want) {
+		t.Fatal("on-disk bytes differ from the canonical encoding")
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// TestDiskStoreRejectsUnsafeIDs pins the path-traversal guard.
+func TestDiskStoreRejectsUnsafeIDs(t *testing.T) {
+	st, err := session.NewDiskStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []string{"", "../evil", "a/b", ".hidden", strings.Repeat("x", 65)} {
+		if _, err := st.Get(id); err == nil || errors.Is(err, session.ErrNotFound) {
+			t.Errorf("Get(%q) err = %v, want invalid-id error", id, err)
+		}
+	}
+}
