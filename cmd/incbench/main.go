@@ -7,6 +7,7 @@
 //	incbench -fig futurefit  # % of future applications mapped (paper Fig 3)
 //	incbench -fig ablation   # extra: MH design-choice ablation
 //	incbench -fig relaxed    # extra: modification cost of the next increment
+//	incbench -fig portfolio  # extra: strategy-portfolio racer vs best single
 //	incbench -fig all
 //
 // The -quick flag shrinks the sweep for a fast smoke run; -cases and
@@ -38,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: deviation, runtime, futurefit, ablation, relaxed, criteria, all")
+	fig := flag.String("fig", "all", "figure to regenerate: deviation, runtime, futurefit, ablation, relaxed, criteria, portfolio, all")
 	cases := flag.Int("cases", 3, "test cases per sweep point")
 	existing := flag.Int("existing", 400, "processes in existing applications")
 	sizes := flag.String("sizes", "", "comma-separated current-application sizes (default paper sweep)")
@@ -148,6 +149,13 @@ func main() {
 				return err
 			}
 			fmt.Println("modification cost of admitting the future application")
+			fmt.Print(res.Table())
+		case "portfolio":
+			res, err := eval.RunPortfolio(ctx, o)
+			if err != nil {
+				return err
+			}
+			fmt.Println("portfolio racer vs the best single strategy")
 			fmt.Print(res.Table())
 		default:
 			return fmt.Errorf("unknown figure %q", name)

@@ -1,0 +1,171 @@
+// Command incload load-tests the solve service in-process: it drives a
+// mixed traffic profile (identical resubmits, distinct problems,
+// detached jobs, session commits) at a configurable concurrency against
+// a serve handler and writes per-class latency percentiles plus the
+// solution-cache hit rate as a machine-readable artifact.
+//
+// Usage:
+//
+//	incload [-profile smoke|mixed|resubmit] [-requests N] [-concurrency N]
+//	        [-seed S] [-strategy mh] [-solution-cache N] [-no-cache]
+//	        [-out LOAD_smoke.json] [-max-p99 MS] [-min-hit-rate R]
+//	incload -diff baseline.json candidate.json [-threshold T]
+//
+// The first form runs the profile and optionally gates on absolute
+// thresholds: -max-p99 fails the run when any class's p99 exceeds the
+// bound, -min-hit-rate when the cache hit rate falls below it (CI's
+// load-smoke job uses both). The second form compares two artifacts
+// benchdiff-style and fails on relative regressions.
+//
+// Exit status: 0 on success, 1 on a failed gate or regression, 2 on
+// usage or I/O errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"incdes/internal/load"
+	"incdes/internal/serve"
+)
+
+func main() {
+	profileName := flag.String("profile", "smoke", "named profile: smoke, mixed or resubmit")
+	requests := flag.Int("requests", 0, "total requests (0 = profile default)")
+	concurrency := flag.Int("concurrency", 0, "concurrent clients (0 = profile default)")
+	seed := flag.Int64("seed", 0, "workload seed (0 = profile default)")
+	strategy := flag.String("strategy", "", "solve strategy query parameter (default mh)")
+	cacheSize := flag.Int("solution-cache", 256, "server-side solution-cache entries (0 = off)")
+	noCache := flag.Bool("no-cache", false, "send cache=off on every request (baseline mode)")
+	out := flag.String("out", "", "write the report JSON to this file (atomic)")
+	maxP99 := flag.Float64("max-p99", 0, "fail when any class p99 exceeds this many ms (0 = no gate)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "fail when the cache hit rate is below this fraction (0 = no gate)")
+	diff := flag.Bool("diff", false, "compare two report files instead of running")
+	threshold := flag.Float64("threshold", 0.5, "diff mode: tolerated relative latency growth (0.5 = 50%)")
+	flag.Parse()
+
+	if *diff {
+		os.Exit(runDiff(flag.Args(), *threshold))
+	}
+	if flag.NArg() != 0 {
+		fmt.Fprintln(os.Stderr, "incload: unexpected arguments (use -diff to compare reports)")
+		os.Exit(2)
+	}
+
+	p, ok := load.Named(*profileName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "incload: unknown profile %q (want smoke, mixed or resubmit)\n", *profileName)
+		os.Exit(2)
+	}
+	if *requests > 0 {
+		p.Requests = *requests
+	}
+	if *concurrency > 0 {
+		p.Concurrency = *concurrency
+	}
+	if *seed != 0 {
+		p.Seed = *seed
+	}
+	if *strategy != "" {
+		p.Strategy = *strategy
+	}
+	p.CacheOff = *noCache
+
+	srv := serve.New(serve.Config{
+		MaxConcurrent:     p.Concurrency,
+		QueueDepth:        p.Requests + 8,
+		Parallelism:       1,
+		RetainJobs:        p.Requests + 8,
+		SolutionCacheSize: *cacheSize,
+	})
+	defer srv.Close()
+	rep, err := load.Run(srv.Handler(), p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incload:", err)
+		os.Exit(2)
+	}
+	printReport(rep)
+	if *out != "" {
+		if err := rep.WriteFile(*out); err != nil {
+			fmt.Fprintln(os.Stderr, "incload:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("report written to %s\n", *out)
+	}
+
+	failed := false
+	if n := rep.Errors(); n > 0 {
+		fmt.Printf("FAIL: %d requests errored\n", n)
+		failed = true
+	}
+	if *maxP99 > 0 {
+		for _, name := range classNames(rep) {
+			if c := rep.Classes[name]; c.P99MS > *maxP99 {
+				fmt.Printf("FAIL: class %s p99 %.2fms exceeds gate %.2fms\n", name, c.P99MS, *maxP99)
+				failed = true
+			}
+		}
+	}
+	if *minHitRate > 0 && rep.Cache.HitRate < *minHitRate {
+		fmt.Printf("FAIL: cache hit rate %.3f below gate %.3f\n", rep.Cache.HitRate, *minHitRate)
+		failed = true
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func classNames(rep *load.Report) []string {
+	names := make([]string, 0, len(rep.Classes))
+	for name := range rep.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func printReport(rep *load.Report) {
+	fmt.Printf("profile %s: %d requests, concurrency %d, wall %.0fms, cache enabled %v\n",
+		rep.Profile.Name, rep.Profile.Requests, rep.Profile.Concurrency, rep.WallMS, rep.CacheEnabled)
+	for _, name := range classNames(rep) {
+		c := rep.Classes[name]
+		fmt.Printf("  %-9s n=%-4d err=%-3d p50=%8.2fms p95=%8.2fms p99=%8.2fms mean=%8.2fms\n",
+			name, c.Requests, c.Errors, c.P50MS, c.P95MS, c.P99MS, c.MeanMS)
+	}
+	if rep.CacheEnabled {
+		fmt.Printf("  cache: hit %d, miss %d, inflight %d (hit rate %.1f%%)\n",
+			rep.Cache.Hit, rep.Cache.Miss, rep.Cache.Inflight, rep.Cache.HitRate*100)
+	}
+}
+
+func runDiff(args []string, threshold float64) int {
+	if len(args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: incload -diff [-threshold T] baseline.json candidate.json")
+		return 2
+	}
+	base, err := load.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incload:", err)
+		return 2
+	}
+	cand, err := load.ReadFile(args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "incload:", err)
+		return 2
+	}
+	regs, notes := load.Compare(base, cand, load.CompareOptions{Threshold: threshold})
+	for _, n := range notes {
+		fmt.Println("note:", n)
+	}
+	fmt.Printf("compared %s against %s (threshold %.0f%%)\n", args[1], args[0], threshold*100)
+	if len(regs) == 0 {
+		fmt.Println("no regressions")
+		return 0
+	}
+	for _, r := range regs {
+		fmt.Println("REGRESSION:", r)
+	}
+	return 1
+}

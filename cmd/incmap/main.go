@@ -4,7 +4,7 @@
 //
 //	incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
 //	incmap inspect  [-sys file]
-//	incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
+//	incmap map      [-sys file] [-strategy ah|mh|sa|portfolio] [-gantt] [-medl]
 //	                [-analyze] [-export file.json] [-export-bin file.img]
 //	                [-parallel N] [-timeout D] [-sa-restarts K]
 //	                [-trace file.jsonl] [-stats-out file.json] [-convergence]
@@ -81,7 +81,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
   incmap inspect  [-sys file]
-  incmap map      [-sys file] [-strategy ah|mh|sa] [-gantt] [-medl]
+  incmap map      [-sys file] [-strategy ah|mh|sa|portfolio] [-gantt] [-medl]
                   [-parallel N] [-timeout D] [-sa-restarts K]
                   [-trace file.jsonl] [-stats-out file.json] [-convergence]
   incmap verify   [-sys file] [-design file.json]
@@ -273,7 +273,7 @@ func cmdSimulate(args []string) error {
 func cmdMap(args []string) error {
 	fs := flag.NewFlagSet("map", flag.ExitOnError)
 	sysPath := fs.String("sys", "system.json", "system JSON file")
-	strategy := fs.String("strategy", "mh", "mapping strategy: ah, mh or sa")
+	strategy := fs.String("strategy", "mh", "mapping strategy: ah, mh, sa or portfolio")
 	gantt := fs.Bool("gantt", false, "print a Gantt chart of the result")
 	medl := fs.Bool("medl", false, "print the resulting MEDL")
 	analyze := fs.Bool("analyze", false, "print response times and utilization")
@@ -340,8 +340,18 @@ func cmdMap(args []string) error {
 		saOpts.Restarts = *saRestarts
 		strat = core.SAWith(saOpts)
 		saSeed = saOpts.Seed
+	case "portfolio":
+		// Race AH, MH and SA under the same deadline; the SA lane takes the
+		// command-line SA tuning.
+		saOpts := core.DefaultSAOptions()
+		saOpts.Iterations = *saIters
+		saOpts.Restarts = *saRestarts
+		strat = core.PortfolioWith(core.PortfolioOptions{
+			Lanes: []core.Strategy{core.AH, core.MH, core.SAWith(saOpts)},
+		})
+		saSeed = saOpts.Seed
 	default:
-		return fmt.Errorf("unknown strategy %q", *strategy)
+		return fmt.Errorf("unknown strategy %q (want ah, mh, sa or portfolio)", *strategy)
 	}
 	// Observability: -stats-out attaches a registry, -trace/-convergence a
 	// trace sink. With none of them set observer stays nil and the solve

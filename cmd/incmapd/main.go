@@ -5,7 +5,7 @@
 //
 //	incmapd [-addr :8080] [-max-concurrent N] [-queue N]
 //	        [-job-timeout D] [-parallel N] [-retain N] [-pprof]
-//	        [-session-dir DIR]
+//	        [-session-dir DIR] [-solution-cache N]
 //
 // Endpoints (API under /v1; the old unversioned solve paths remain as
 // aliases for one release):
@@ -27,9 +27,15 @@
 //	GET    /healthz, /readyz      liveness / readiness probes
 //	GET    /debug/pprof/          profiling (only with -pprof)
 //
-// Query parameters of /v1/solve: strategy=ah|mh|sa, app=<name>,
-// sa-iters, sa-restarts, seed, parallel, timeout (Go duration).
+// Query parameters of /v1/solve: strategy=ah|mh|sa|portfolio, app=<name>,
+// sa-iters, sa-restarts, seed, parallel, timeout (Go duration), cache=off.
 // /v1/sessions/{id}/commits accepts the same solve knobs plus branch=.
+//
+// With -solution-cache N the server keeps the last N solve results keyed
+// by a canonical problem fingerprint: an identical resubmission is served
+// from the cache (X-Incdes-Cache: hit) and identical concurrent requests
+// coalesce onto one solve (single-flight; followers get
+// X-Incdes-Cache: inflight). cache=off opts a request out.
 //
 // With -session-dir sessions persist as JSON documents in that directory
 // and survive restarts (schedules are rematerialized by deterministic
@@ -67,6 +73,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	incremental := flag.Bool("incremental", true, "transactional incremental candidate evaluation (false = full rebuild per candidate)")
 	sessionDir := flag.String("session-dir", "", "directory for persistent design sessions (empty = in-memory only)")
+	solutionCache := flag.Int("solution-cache", 0, "whole-solution LRU entries; identical requests coalesce and replay (0 = off)")
 	flag.Parse()
 
 	mode := core.IncrementalOn
@@ -82,14 +89,15 @@ func main() {
 		store = ds
 	}
 	srv := serve.New(serve.Config{
-		MaxConcurrent: *maxConcurrent,
-		QueueDepth:    *queue,
-		JobTimeout:    *jobTimeout,
-		Parallelism:   *parallel,
-		RetainJobs:    *retain,
-		EnablePprof:   *pprofOn,
-		Incremental:   mode,
-		SessionStore:  store,
+		MaxConcurrent:     *maxConcurrent,
+		QueueDepth:        *queue,
+		JobTimeout:        *jobTimeout,
+		Parallelism:       *parallel,
+		RetainJobs:        *retain,
+		EnablePprof:       *pprofOn,
+		Incremental:       mode,
+		SessionStore:      store,
+		SolutionCacheSize: *solutionCache,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

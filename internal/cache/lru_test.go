@@ -1,0 +1,65 @@
+package cache
+
+import "testing"
+
+func TestLRUEvictsLeastRecentlyUsed(t *testing.T) {
+	l := NewLRU(2)
+	if l.Put("a", 1) || l.Put("b", 2) {
+		t.Fatal("eviction reported while under capacity")
+	}
+	if v, ok := l.Get("a"); !ok || v != 1 {
+		t.Fatalf("Get(a) = %v, %v", v, ok)
+	}
+	// "b" is now least recently used; inserting "c" must evict it.
+	if !l.Put("c", 3) {
+		t.Fatal("Put(c) did not report an eviction")
+	}
+	if _, ok := l.Get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if _, ok := l.Get("a"); !ok {
+		t.Error("a was evicted despite being recently used")
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUUpdateInPlace(t *testing.T) {
+	l := NewLRU(2)
+	l.Put("a", 1)
+	l.Put("b", 2)
+	if l.Put("a", 10) {
+		t.Fatal("updating an existing key reported an eviction")
+	}
+	if v, _ := l.Get("a"); v != 10 {
+		t.Errorf("Get(a) = %v after update, want 10", v)
+	}
+	if l.Len() != 2 {
+		t.Errorf("Len = %d, want 2", l.Len())
+	}
+}
+
+func TestLRUStats(t *testing.T) {
+	l := NewLRU(1)
+	l.Get("missing")
+	l.Put("a", 1)
+	l.Get("a")
+	l.Put("b", 2) // evicts a
+	hits, misses, evictions := l.Stats()
+	if hits != 1 || misses != 1 || evictions != 1 {
+		t.Errorf("Stats = %d/%d/%d, want 1/1/1", hits, misses, evictions)
+	}
+}
+
+func TestLRUZeroCapacityClampsToOne(t *testing.T) {
+	l := NewLRU(0)
+	l.Put("a", 1)
+	if _, ok := l.Get("a"); !ok {
+		t.Fatal("entry lost in size-clamped cache")
+	}
+	l.Put("b", 2)
+	if _, ok := l.Get("a"); ok {
+		t.Error("capacity-1 cache retained two entries")
+	}
+}

@@ -1,0 +1,116 @@
+package cache
+
+import (
+	"context"
+	"sync"
+)
+
+// Group coalesces concurrent work keyed by fingerprint: the first
+// joiner of a key becomes the leader and runs the solve; later joiners
+// become followers and share the leader's result. Unlike
+// x/sync/singleflight, membership is reference counted and the flight
+// owns a cancellable context: the flight's solve is cancelled only when
+// the *last* member leaves, so a leader whose client disconnects does
+// not kill the solve its followers are still waiting on.
+type Group struct {
+	// All Flight state is guarded by the owning group's mutex; flights
+	// are few and short-lived, so one lock is simpler and plenty.
+	mu      sync.Mutex
+	flights map[string]*Flight
+}
+
+// NewGroup returns an empty single-flight group.
+func NewGroup() *Group {
+	return &Group{flights: make(map[string]*Flight)}
+}
+
+// Flight is one in-progress unit of coalesced work.
+type Flight struct {
+	g      *Group
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	refs      int
+	completed bool
+	done      chan struct{}
+	val       any
+	err       error
+}
+
+// Join returns the flight for key, creating one (derived from base)
+// when none is in progress. The second return is true when the caller
+// created the flight and must therefore run the work and call Complete.
+func (g *Group) Join(base context.Context, key string) (*Flight, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.flights[key]; ok {
+		f.refs++
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f := &Flight{
+		g:      g,
+		key:    key,
+		ctx:    ctx,
+		cancel: cancel,
+		refs:   1,
+		done:   make(chan struct{}),
+	}
+	g.flights[key] = f
+	return f, true
+}
+
+// Context is the flight's work context. The leader's solve must run
+// under it (not the leader's request context) so the work survives the
+// leader leaving while followers remain.
+func (f *Flight) Context() context.Context { return f.ctx }
+
+// Done is closed when Complete is called.
+func (f *Flight) Done() <-chan struct{} { return f.done }
+
+// Result returns the completed flight's outcome. Only valid after Done
+// is closed.
+func (f *Flight) Result() (any, error) {
+	f.g.mu.Lock()
+	defer f.g.mu.Unlock()
+	return f.val, f.err
+}
+
+// Leave drops the caller's membership and returns the remaining member
+// count. When the last member leaves an uncompleted flight, the flight's
+// context is cancelled — the solve winds down to best-so-far exactly as
+// a lone request's disconnect would — and the key is released so a new
+// request starts fresh rather than joining an abandoned solve.
+func (f *Flight) Leave() int {
+	f.g.mu.Lock()
+	defer f.g.mu.Unlock()
+	f.refs--
+	remaining := f.refs
+	if remaining <= 0 && !f.completed {
+		f.cancel()
+		if f.g.flights[f.key] == f {
+			delete(f.g.flights, f.key)
+		}
+	}
+	return remaining
+}
+
+// Complete records the flight's outcome, wakes all members, and
+// releases the key so subsequent requests miss (and consult the LRU,
+// which the leader populates before completing). Calling Complete more
+// than once is a no-op after the first.
+func (f *Flight) Complete(val any, err error) {
+	f.g.mu.Lock()
+	defer f.g.mu.Unlock()
+	if f.completed {
+		return
+	}
+	f.completed = true
+	f.val, f.err = val, err
+	if f.g.flights[f.key] == f {
+		delete(f.g.flights, f.key)
+	}
+	close(f.done)
+	f.cancel()
+}

@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSingleFlightCoalesces(t *testing.T) {
+	g := NewGroup()
+	const n = 32
+	// The leader joins first and completes only after every follower has
+	// joined, so all n members genuinely overlap on one flight.
+	lead, leader := g.Join(context.Background(), "k")
+	if !leader {
+		t.Fatal("first Join is not the leader")
+	}
+	var extraLeaders, solves atomic.Int64
+	var joined, wg sync.WaitGroup
+	for i := 0; i < n-1; i++ {
+		joined.Add(1)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, leader := g.Join(context.Background(), "k")
+			if leader {
+				extraLeaders.Add(1)
+			}
+			joined.Done()
+			<-f.Done()
+			f.Leave()
+			v, err := f.Result()
+			if err != nil || v != "result" {
+				t.Errorf("Result = %v, %v", v, err)
+			}
+		}()
+	}
+	joined.Wait()
+	solves.Add(1)
+	lead.Complete("result", nil)
+	lead.Leave()
+	wg.Wait()
+	if extraLeaders.Load() != 0 || solves.Load() != 1 {
+		t.Errorf("extra leaders=%d solves=%d, want 0 and 1", extraLeaders.Load(), solves.Load())
+	}
+}
+
+func TestSingleFlightKeyReleasedAfterComplete(t *testing.T) {
+	g := NewGroup()
+	f1, leader := g.Join(context.Background(), "k")
+	if !leader {
+		t.Fatal("first Join is not the leader")
+	}
+	f1.Complete(1, nil)
+	f1.Leave()
+	f2, leader := g.Join(context.Background(), "k")
+	if !leader || f2 == f1 {
+		t.Fatal("completed flight still coalesces new joins")
+	}
+	f2.Complete(2, nil)
+	f2.Leave()
+}
+
+// TestSingleFlightLeaderLeaveKeepsFollowers pins the promotion
+// semantics: the leader's departure must not cancel the flight while a
+// follower still waits on it.
+func TestSingleFlightLeaderLeaveKeepsFollowers(t *testing.T) {
+	g := NewGroup()
+	f, leader := g.Join(context.Background(), "k")
+	if !leader {
+		t.Fatal("not leader")
+	}
+	if _, leader2 := g.Join(context.Background(), "k"); leader2 {
+		t.Fatal("second join elected leader")
+	}
+	if remaining := f.Leave(); remaining != 1 {
+		t.Fatalf("Leave = %d members remaining, want 1", remaining)
+	}
+	select {
+	case <-f.Context().Done():
+		t.Fatal("flight cancelled while a follower remains")
+	default:
+	}
+	// The (promoted) follower leaves too: now the solve must be cancelled.
+	if remaining := f.Leave(); remaining != 0 {
+		t.Fatalf("final Leave = %d, want 0", remaining)
+	}
+	select {
+	case <-f.Context().Done():
+	case <-time.After(time.Second):
+		t.Fatal("flight context not cancelled after the last member left")
+	}
+}
+
+func TestSingleFlightError(t *testing.T) {
+	g := NewGroup()
+	f, _ := g.Join(context.Background(), "k")
+	boom := errors.New("boom")
+	f.Complete(nil, boom)
+	f.Leave()
+	if _, err := f.Result(); !errors.Is(err, boom) {
+		t.Errorf("Result err = %v, want boom", err)
+	}
+}
+
+func TestSingleFlightDistinctKeysDoNotCoalesce(t *testing.T) {
+	g := NewGroup()
+	f1, l1 := g.Join(context.Background(), "a")
+	f2, l2 := g.Join(context.Background(), "b")
+	if !l1 || !l2 || f1 == f2 {
+		t.Fatal("distinct keys coalesced")
+	}
+	f1.Complete(nil, nil)
+	f2.Complete(nil, nil)
+	f1.Leave()
+	f2.Leave()
+}

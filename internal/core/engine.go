@@ -34,6 +34,11 @@ type Engine struct {
 	progress    func(Event)
 	cache       *evalCache
 
+	// opts is the resolved Options of the owning Solve call, kept so
+	// composite strategies (the portfolio racer) can derive per-lane
+	// option sets that inherit the caller's tuning.
+	opts Options
+
 	// scratch holds worker-local evaluation contexts reused across
 	// evaluations, keeping the per-evaluation allocation cost near zero.
 	// On the incremental path each context owns a private copy of the
@@ -96,6 +101,7 @@ func newEngine(p *Problem, opts Options) *Engine {
 		p:           p,
 		parallelism: opts.Parallelism,
 		progress:    opts.Progress,
+		opts:        opts,
 		observer:    opts.Observer,
 		incremental: opts.Incremental != IncrementalOff,
 	}

@@ -1,0 +1,232 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"incdes/internal/obs"
+)
+
+// PortfolioOptions configure the strategy-portfolio racer.
+type PortfolioOptions struct {
+	// Lanes are the strategies to race, in priority order: ties on the
+	// objective go to the lowest lane index. nil selects [AH, MH, SA].
+	Lanes []Strategy
+}
+
+// PortfolioWith returns a strategy that races opts.Lanes concurrently
+// under the Solve call's context and returns the winner.
+//
+// Determinism rule: the winner is the error-free lane with the lowest
+// (objective, lane index) — so for a fixed problem and options the
+// returned solution is byte-identical across runs and parallelism
+// levels, exactly like the individual strategies (cancellation timing
+// excepted). Losers are NOT cancelled on first completion: whether a
+// still-running lane could have won is unknowable, so racing-to-cancel
+// would make the result depend on scheduling. Lanes are cancelled early
+// only when it is provably safe:
+//
+//   - a lane fails with a non-context error — the race cannot return a
+//     solution anyway (lane errors are deterministic, so every run
+//     fails identically), and Run reports the lowest-index such error;
+//   - the zero-objective shortcut: when lanes 0..z have all run to
+//     natural completion and lane z's objective is 0, no lane above z
+//     can beat the (objective, index) tie-break, so the rest are
+//     cancelled without affecting the result;
+//   - the caller's context expires — every unfinished lane winds down
+//     to its best-so-far (marked Interrupted) and the best at deadline
+//     wins.
+//
+// The winning lane's Solution is returned as-is: Strategy carries the
+// winner's own tag ("AH", "MH", "SA"), and Evaluations/CacheHits count
+// the winner's lane only, so the result is byte-identical to a direct
+// Solve of the winning strategy. Aggregate cross-lane work remains
+// visible in the observer's counters (core.evaluations sums all lanes;
+// core.portfolio.* record the race itself), and with tracing on each
+// lane's full event stream is replayed in lane order followed by a
+// portfolio.lane summary per lane and the final decision event.
+func PortfolioWith(opts PortfolioOptions) Strategy { return portfolioStrategy{opts: opts} }
+
+type portfolioStrategy struct{ opts PortfolioOptions }
+
+func (portfolioStrategy) Name() string { return "portfolio" }
+
+// laneResult is one lane's outcome plus its buffered trace.
+type laneResult struct {
+	sol    *Solution
+	err    error
+	evals  int64
+	hits   int64
+	events []obs.TraceEvent
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+func (s portfolioStrategy) Run(ctx context.Context, eng *Engine) (*Solution, error) {
+	lanes := s.opts.Lanes
+	if len(lanes) == 0 {
+		lanes = []Strategy{AH, MH, SA}
+	}
+	reg := eng.Stats()
+	reg.Counter(obs.CtrPortfolioRaces).Inc()
+
+	raceCtx, cancelRace := context.WithCancel(ctx)
+	defer cancelRace()
+	cancels := make([]context.CancelFunc, len(lanes))
+	laneCtxs := make([]context.Context, len(lanes))
+	for i := range lanes {
+		laneCtxs[i], cancels[i] = context.WithCancel(raceCtx)
+		defer cancels[i]()
+	}
+
+	results := make([]laneResult, len(lanes))
+	// natural marks lanes that ran to completion uninterrupted; the
+	// zero-objective shortcut below needs to know the completed prefix.
+	natural := make([]bool, len(lanes))
+	shortcutCancelled := 0
+	var mu sync.Mutex
+
+	// Lane engines are independent, so a caller Progress callback would
+	// otherwise be entered concurrently; re-serialize it across lanes to
+	// keep the Options.Progress contract.
+	var progressMu sync.Mutex
+
+	var wg sync.WaitGroup
+	for i := range lanes {
+		wg.Add(1)
+		go func(i int, lane Strategy) {
+			defer wg.Done()
+			laneOpts := eng.opts
+			laneOpts.Strategy = lane
+			// Share the outer engine's baseline: the frozen base is one
+			// and the same for every lane, and Baseline is read-only.
+			laneOpts.Baseline = eng.baseline
+			var col *obs.Collector
+			if eng.observer != nil {
+				if eng.Tracing() {
+					col = &obs.Collector{}
+				}
+				laneOpts.Observer = &obs.Observer{Stats: eng.observer.Stats, Tracer: nil}
+				if col != nil {
+					laneOpts.Observer.Tracer = col
+				}
+			}
+			if prog := laneOpts.Progress; prog != nil {
+				laneOpts.Progress = func(ev Event) {
+					progressMu.Lock()
+					prog(ev)
+					progressMu.Unlock()
+				}
+			}
+			laneEng := newEngine(eng.p, laneOpts)
+			sol, err := lane.Run(laneCtxs[i], laneEng)
+			if sol != nil {
+				// Lanes bypass Solve, so fill the counters Solve would have.
+				sol.Evaluations = int(laneEng.Evaluations())
+				sol.CacheHits = int(laneEng.CacheHits())
+			}
+			r := laneResult{sol: sol, err: err, evals: laneEng.Evaluations(), hits: laneEng.CacheHits()}
+			if col != nil {
+				r.events = col.Events()
+			}
+
+			mu.Lock()
+			results[i] = r
+			switch {
+			case err != nil && !isCtxErr(err):
+				// Deterministic lane failure: no run of this race can
+				// produce a solution, so stop burning the other lanes.
+				cancelRace()
+			case err == nil && sol != nil && !sol.Interrupted:
+				natural[i] = true
+				reg.Counter(obs.CtrPortfolioLaneDone).Inc()
+				reg.Counter(fmt.Sprintf("core.portfolio.lane%d_evals", i)).Add(r.evals)
+				// Zero-objective shortcut: if the leading naturally-completed
+				// prefix contains an objective-0 lane, no later lane can win
+				// the (objective, index) tie-break.
+				for z := 0; z < len(lanes) && natural[z]; z++ {
+					if results[z].sol.Objective() == 0 {
+						for j := z + 1; j < len(lanes); j++ {
+							if results[j].sol == nil && results[j].err == nil {
+								shortcutCancelled++
+							}
+							cancels[j]()
+						}
+						break
+					}
+				}
+			}
+			mu.Unlock()
+		}(i, lanes[i])
+	}
+	wg.Wait()
+
+	reg.Counter(obs.CtrPortfolioCancelled).Add(int64(shortcutCancelled))
+
+	// Lowest-index deterministic error wins over any solution: lane
+	// errors are pure functions of the problem, so every run of the race
+	// observes the same set of them.
+	for i, r := range results {
+		if r.err != nil && !isCtxErr(r.err) {
+			return nil, fmt.Errorf("core: portfolio lane %d (%s): %w", i, lanes[i].Name(), r.err)
+		}
+	}
+
+	winner := -1
+	for i, r := range results {
+		if r.err != nil || r.sol == nil {
+			continue
+		}
+		if winner < 0 || r.sol.Objective() < results[winner].sol.Objective() {
+			winner = i
+		}
+	}
+	if winner < 0 {
+		// Every lane was cancelled before finding a feasible design.
+		for _, r := range results {
+			if r.err != nil {
+				return nil, r.err
+			}
+		}
+		return nil, ctx.Err()
+	}
+
+	if eng.Tracing() {
+		for i, r := range results {
+			for _, ev := range r.events {
+				ev.Seq = 0 // the outer sink reassigns arrival order
+				eng.Trace(ev)
+			}
+			lane := obs.TraceEvent{
+				Kind:        "portfolio.lane",
+				Strategy:    lanes[i].Name(),
+				Chain:       i,
+				Evaluations: r.evals,
+				Feasible:    r.err == nil && r.sol != nil,
+			}
+			if r.sol != nil {
+				lane.Cost = r.sol.Objective()
+			}
+			eng.Trace(lane)
+		}
+	}
+
+	win := results[winner].sol
+	reg.Gauge(obs.GagPortfolioWinner).Set(int64(winner))
+	// The outer Solve reports the engine's counters; make them the
+	// winning lane's so the returned Solution is byte-identical to a
+	// direct solve of the winner (aggregate work stays in the registry).
+	eng.evals.Store(results[winner].evals)
+	eng.hits.Store(results[winner].hits)
+	eng.Trace(obs.TraceEvent{
+		Kind:     "decision",
+		Strategy: "portfolio",
+		Chain:    winner,
+		Cost:     win.Objective(),
+	})
+	return win, nil
+}

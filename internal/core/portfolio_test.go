@@ -1,0 +1,242 @@
+package core_test
+
+import (
+	"context"
+	"encoding/hex"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"incdes/internal/core"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/obs"
+)
+
+// hardProblem is testProblem with a future profile no mapping can fully
+// satisfy, so every lane finishes with a nonzero objective and the
+// portfolio's zero-objective shortcut never fires. Counter tests need
+// that: the shortcut cancels trailing lanes, which would make the
+// lane-done count depend on scheduling.
+func hardProblem(t *testing.T, seed int64, existing, current int) *core.Problem {
+	t.Helper()
+	cfg := gen.Default()
+	cfg.Nodes = 5
+	cfg.GraphMinProcs = 5
+	cfg.GraphMaxProcs = 12
+	tc, err := gen.MakeTestCase(cfg, seed, existing, current)
+	if err != nil {
+		t.Fatalf("MakeTestCase: %v", err)
+	}
+	prof := *tc.Profile
+	prof.TNeed = prof.Tmin * 9 / 10 // nearly saturate every window
+	prof.BNeedBytes *= 50
+	p, err := core.NewProblem(tc.Sys, tc.Base, tc.Current, &prof, metrics.DefaultWeights(&prof))
+	if err != nil {
+		t.Fatalf("core.NewProblem: %v", err)
+	}
+	return p
+}
+
+// stateFP is the schedule's composite fingerprint, the byte-identity
+// witness used across the determinism tests.
+func stateFP(t *testing.T, sol *core.Solution) string {
+	t.Helper()
+	if sol == nil || sol.State == nil {
+		t.Fatal("solution has no state")
+	}
+	sum := sol.State.Fingerprint()
+	return hex.EncodeToString(sum[:])
+}
+
+// solutionIdentity is everything in a Solution that must be a pure
+// function of (problem, options) — wall-clock Elapsed excluded.
+type solutionIdentity struct {
+	Strategy    string
+	Evaluations int
+	CacheHits   int
+	Interrupted bool
+	Objective   float64
+	StateFP     string
+}
+
+func identity(t *testing.T, sol *core.Solution) solutionIdentity {
+	t.Helper()
+	return solutionIdentity{
+		Strategy:    sol.Strategy,
+		Evaluations: sol.Evaluations,
+		CacheHits:   sol.CacheHits,
+		Interrupted: sol.Interrupted,
+		Objective:   sol.Report.Objective,
+		StateFP:     stateFP(t, sol),
+	}
+}
+
+// TestPortfolioMatchesDirectSolveOfWinner pins the differential
+// contract: the portfolio's result is byte-identical to a direct
+// uncached Solve of whichever lane wins the (objective, index)
+// tie-break.
+func TestPortfolioMatchesDirectSolveOfWinner(t *testing.T) {
+	p := testProblem(t, 11, 40, 20)
+	sa := core.SAWith(core.SAOptions{Iterations: 400, Seed: 1})
+	lanes := []core.Strategy{core.AH, core.MH, sa}
+
+	var winner *core.Solution
+	for _, lane := range lanes {
+		sol, err := core.Solve(context.Background(), p, core.Options{Strategy: lane, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", lane.Name(), err)
+		}
+		if winner == nil || sol.Report.Objective < winner.Report.Objective {
+			winner = sol
+		}
+	}
+
+	port, err := core.Solve(context.Background(), p, core.Options{
+		Strategy:    core.PortfolioWith(core.PortfolioOptions{Lanes: lanes}),
+		Parallelism: 1,
+	})
+	if err != nil {
+		t.Fatalf("portfolio: %v", err)
+	}
+	if got, want := identity(t, port), identity(t, winner); got != want {
+		t.Errorf("portfolio result differs from direct solve of winner:\n got %+v\nwant %+v", got, want)
+	}
+	if !reflect.DeepEqual(port.Report, winner.Report) {
+		t.Errorf("portfolio report differs from winner's:\n got %+v\nwant %+v", port.Report, winner.Report)
+	}
+	if !reflect.DeepEqual(port.Mapping, winner.Mapping) {
+		t.Error("portfolio mapping differs from winner's")
+	}
+}
+
+// TestPortfolioDeterministicAcrossParallelism pins the racer's core
+// promise: identical results at evaluation parallelism 1 and 4, and
+// across repeated runs.
+func TestPortfolioDeterministicAcrossParallelism(t *testing.T) {
+	p := testProblem(t, 12, 40, 20)
+	strat := core.PortfolioWith(core.PortfolioOptions{Lanes: []core.Strategy{
+		core.AH, core.MH, core.SAWith(core.SAOptions{Iterations: 400, Seed: 1}),
+	}})
+	run := func(parallelism int) solutionIdentity {
+		sol, err := core.Solve(context.Background(), p, core.Options{Strategy: strat, Parallelism: parallelism})
+		if err != nil {
+			t.Fatalf("portfolio at parallelism %d: %v", parallelism, err)
+		}
+		return identity(t, sol)
+	}
+	p1, p1b, p4, p4b := run(1), run(1), run(4), run(4)
+	if p1 != p1b {
+		t.Errorf("two parallelism-1 runs differ:\n%+v\n%+v", p1, p1b)
+	}
+	if p4 != p4b {
+		t.Errorf("two parallelism-4 runs differ:\n%+v\n%+v", p4, p4b)
+	}
+	if p1 != p4 {
+		t.Errorf("parallelism changes the portfolio result:\np1 %+v\np4 %+v", p1, p4)
+	}
+}
+
+// TestPortfolioObservability pins the race's instrument and trace
+// surface: per-lane counters, the winner gauge, and a trace stream that
+// replays to the reported objective.
+func TestPortfolioObservability(t *testing.T) {
+	p := hardProblem(t, 13, 30, 15)
+	reg := obs.NewRegistry()
+	col := &obs.Collector{}
+	sol, err := core.Solve(context.Background(), p, core.Options{
+		Strategy:    core.PortfolioWith(core.PortfolioOptions{Lanes: []core.Strategy{core.AH, core.MH}}),
+		Parallelism: 1,
+		Observer:    &obs.Observer{Stats: reg, Tracer: col},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	if got := snap.Counters[obs.CtrPortfolioRaces]; got != 1 {
+		t.Errorf("%s = %d, want 1", obs.CtrPortfolioRaces, got)
+	}
+	if got := snap.Counters[obs.CtrPortfolioLaneDone]; got != 2 {
+		t.Errorf("%s = %d, want 2", obs.CtrPortfolioLaneDone, got)
+	}
+	if got := snap.Counters[obs.CtrSolves]; got != 1 {
+		t.Errorf("%s = %d, want 1 (lanes must not nest Solve)", obs.CtrSolves, got)
+	}
+	// The registry aggregates all lanes; the returned solution counts the
+	// winner's lane alone.
+	if agg := snap.Counters[obs.CtrEvaluations]; agg < int64(sol.Evaluations) {
+		t.Errorf("aggregate evaluations %d < winner's %d", agg, sol.Evaluations)
+	}
+	winnerLane, ok := snap.Gauges[obs.GagPortfolioWinner]
+	if !ok || winnerLane < 0 || winnerLane > 1 {
+		t.Errorf("winner gauge = %d, %v", winnerLane, ok)
+	}
+
+	events := col.Events()
+	var laneSummaries, decisions int
+	for _, ev := range events {
+		switch ev.Kind {
+		case "portfolio.lane":
+			laneSummaries++
+		case "decision":
+			if ev.Strategy == "portfolio" {
+				decisions++
+				if ev.Chain != int(winnerLane) {
+					t.Errorf("decision chain %d != winner gauge %d", ev.Chain, winnerLane)
+				}
+			}
+		}
+	}
+	if laneSummaries != 2 || decisions != 1 {
+		t.Errorf("trace has %d lane summaries and %d decisions, want 2 and 1", laneSummaries, decisions)
+	}
+	if final, ok := obs.FinalCost(events); !ok || final != sol.Report.Objective {
+		t.Errorf("trace replays to %v, solution reports %v", final, sol.Report.Objective)
+	}
+}
+
+// failingLane is a deterministic lane failure.
+type failingLane struct{}
+
+func (failingLane) Name() string { return "boom" }
+func (failingLane) Run(context.Context, *core.Engine) (*core.Solution, error) {
+	return nil, errors.New("synthetic lane failure")
+}
+
+// TestPortfolioLaneErrorIsDeterministic pins the error rule: the
+// lowest-index non-context lane error fails the whole race, annotated
+// with the lane.
+func TestPortfolioLaneErrorIsDeterministic(t *testing.T) {
+	p := testProblem(t, 14, 20, 10)
+	_, err := core.Solve(context.Background(), p, core.Options{
+		Strategy:    core.PortfolioWith(core.PortfolioOptions{Lanes: []core.Strategy{failingLane{}, core.AH}}),
+		Parallelism: 1,
+	})
+	if err == nil || !strings.Contains(err.Error(), "portfolio lane 0 (boom)") {
+		t.Fatalf("err = %v, want portfolio lane 0 (boom) annotation", err)
+	}
+}
+
+// TestPortfolioDefaultLanes pins that the zero-value portfolio races
+// AH, MH and SA.
+func TestPortfolioDefaultLanes(t *testing.T) {
+	p := hardProblem(t, 15, 20, 10)
+	reg := obs.NewRegistry()
+	sol, err := core.Solve(context.Background(), p, core.Options{
+		Strategy:    core.Portfolio,
+		Parallelism: 1,
+		Observer:    &obs.Observer{Stats: reg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch sol.Strategy {
+	case "AH", "MH", "SA":
+	default:
+		t.Errorf("winner strategy = %q, want one of the default lanes", sol.Strategy)
+	}
+	if got := reg.Snapshot().Counters[obs.CtrPortfolioLaneDone]; got != 3 {
+		t.Errorf("%s = %d, want 3", obs.CtrPortfolioLaneDone, got)
+	}
+}

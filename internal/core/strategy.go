@@ -35,6 +35,9 @@ var (
 	MH Strategy = MHWith(MHOptions{})
 	// SA is the annealing reference with DefaultSAOptions.
 	SA Strategy = SAWith(DefaultSAOptions())
+	// Portfolio races AH, MH and SA concurrently under one deadline and
+	// returns the deterministic winner (see PortfolioWith).
+	Portfolio Strategy = PortfolioWith(PortfolioOptions{})
 )
 
 // MHWith returns the mapping heuristic configured with opts. Zero-valued
@@ -163,6 +166,9 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	}
 	start := time.Now()
 	eng := newEngine(p, opts)
+	if reg := opts.Observer.Registry(); reg != nil {
+		reg.Counter(obs.CtrSolves).Inc()
+	}
 	eng.Trace(obs.TraceEvent{Kind: "solve.start", Strategy: opts.Strategy.Name()})
 	sol, err := opts.Strategy.Run(ctx, eng)
 	if err != nil {

@@ -1,0 +1,136 @@
+package load
+
+// Benchdiff-style comparison of two load reports, plus the atomic
+// artifact I/O cmd/incload trades in.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CompareOptions tune Compare.
+type CompareOptions struct {
+	// Threshold is the tolerated relative latency growth per class and
+	// percentile (0.5 = 50%). Zero means the default 0.5: in-process
+	// latencies at millisecond scale are noisy, so the gate is loose.
+	Threshold float64
+	// MinMS skips the latency comparison for percentiles whose baseline
+	// is under this floor (default 0.5ms) — too fast to time meaningfully.
+	MinMS float64
+	// HitRateDrop is the tolerated absolute hit-rate decrease
+	// (default 0.1, i.e. ten percentage points).
+	HitRateDrop float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Threshold == 0 {
+		o.Threshold = 0.5
+	}
+	if o.MinMS == 0 {
+		o.MinMS = 0.5
+	}
+	if o.HitRateDrop == 0 {
+		o.HitRateDrop = 0.1
+	}
+	return o
+}
+
+// Compare diffs candidate against baseline: regressions fail the gate,
+// notes are informational (missing classes, error-count changes).
+func Compare(base, cand *Report, opts CompareOptions) (regressions, notes []string) {
+	opts = opts.withDefaults()
+	names := make([]string, 0, len(cand.Classes))
+	for name := range cand.Classes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		c := cand.Classes[name]
+		b, ok := base.Classes[name]
+		if !ok {
+			notes = append(notes, fmt.Sprintf("class %s: not in baseline", name))
+			continue
+		}
+		if c.Errors > b.Errors {
+			regressions = append(regressions,
+				fmt.Sprintf("class %s: errors %d -> %d", name, b.Errors, c.Errors))
+		}
+		for _, pct := range []struct {
+			label      string
+			base, cand float64
+		}{
+			{"p50", b.P50MS, c.P50MS},
+			{"p95", b.P95MS, c.P95MS},
+			{"p99", b.P99MS, c.P99MS},
+		} {
+			if pct.base < opts.MinMS {
+				continue
+			}
+			if pct.cand > pct.base*(1+opts.Threshold) {
+				regressions = append(regressions,
+					fmt.Sprintf("class %s: %s %.2fms -> %.2fms (+%.0f%%, threshold %.0f%%)",
+						name, pct.label, pct.base, pct.cand,
+						(pct.cand/pct.base-1)*100, opts.Threshold*100))
+			}
+		}
+	}
+	for name := range base.Classes {
+		if _, ok := cand.Classes[name]; !ok {
+			notes = append(notes, fmt.Sprintf("class %s: missing from candidate", name))
+		}
+	}
+	if base.CacheEnabled && cand.CacheEnabled &&
+		cand.Cache.HitRate < base.Cache.HitRate-opts.HitRateDrop {
+		regressions = append(regressions,
+			fmt.Sprintf("cache hit rate %.1f%% -> %.1f%% (tolerated drop %.0f points)",
+				base.Cache.HitRate*100, cand.Cache.HitRate*100, opts.HitRateDrop*100))
+	} else if base.CacheEnabled != cand.CacheEnabled {
+		notes = append(notes, fmt.Sprintf("cache enabled: baseline %v, candidate %v",
+			base.CacheEnabled, cand.CacheEnabled))
+	}
+	return regressions, notes
+}
+
+// WriteFile writes the report atomically (temp file + rename).
+func (r *Report) WriteFile(path string) error {
+	dir, base := filepath.Split(path)
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("load: writing %s: %w", path, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	enc := json.NewEncoder(tmp)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(r); err != nil {
+		tmp.Close()
+		return fmt.Errorf("load: writing %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("load: writing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("load: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadFile loads a report, rejecting schema versions this code does not
+// understand.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("load: reading %s: %w", path, err)
+	}
+	if r.SchemaVersion > SchemaVersion {
+		return nil, fmt.Errorf("load: %s has schema_version %d, this binary understands %d",
+			path, r.SchemaVersion, SchemaVersion)
+	}
+	return &r, nil
+}

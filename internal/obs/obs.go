@@ -39,6 +39,21 @@ const (
 	CtrInfeasible  = "core.infeasible"   // evaluations ruled out by requirement (a)
 	TmrWorkerBusy  = "core.worker_busy"  // timer: cumulative worker busy time
 	GagWorkers     = "core.workers"      // gauge: resolved parallelism of the last Solve
+	CtrSolves      = "core.solves"       // core.Solve invocations that ran a strategy
+
+	// Strategy-portfolio racer (internal/core).
+	CtrPortfolioRaces     = "core.portfolio.races"            // portfolio races started
+	CtrPortfolioLaneDone  = "core.portfolio.lane_done"        // lanes that ran to natural completion
+	CtrPortfolioCancelled = "core.portfolio.losers_cancelled" // lanes cancelled by the zero-objective shortcut
+	GagPortfolioWinner    = "core.portfolio.winner_lane"      // gauge: lane index of the last race's winner
+
+	// Whole-solution cache + single-flight dedup (internal/cache via serve).
+	CtrSolveCacheHits     = "cache.hits"           // requests served from the solution cache
+	CtrSolveCacheMisses   = "cache.misses"         // requests that led a fresh solve
+	CtrSolveCacheInflight = "cache.inflight_dedup" // requests coalesced onto an in-flight solve
+	CtrSolveCacheStores   = "cache.stores"         // solutions stored in the cache
+	CtrSolveCacheEvict    = "cache.evictions"      // solutions evicted by the LRU bound
+	GagSolveCacheEntries  = "cache.entries"        // gauge: solutions resident in the cache
 
 	// Transactional evaluation (internal/core, incremental path).
 	CtrTxnApplies     = "core.txn_applies"           // candidate placements applied in place
@@ -88,6 +103,10 @@ const (
 	CtrSessBaselineBuilds = "session.baseline_builds" // metric baselines computed for a version
 	CtrSessBaselineReuses = "session.baseline_reuses" // commits served from a cached baseline
 	GagSessLive           = "session.live"            // gauge: sessions resident in memory
+
+	// Session-commit solution cache (internal/session).
+	CtrSessSolveCacheHits   = "session.solve_cache_hits"   // commits served from the solution cache
+	CtrSessSolveCacheStores = "session.solve_cache_stores" // commit solutions stored in the cache
 )
 
 // InstrumentKind classifies a catalog instrument.
@@ -118,6 +137,17 @@ var catalog = []Instrument{
 	{CtrInfeasible, KindCounter, "evaluations ruled out by requirement (a)"},
 	{TmrWorkerBusy, KindTimer, "cumulative worker busy time"},
 	{GagWorkers, KindGauge, "resolved parallelism of the last Solve"},
+	{CtrSolves, KindCounter, "core.Solve invocations that ran a strategy"},
+	{CtrPortfolioRaces, KindCounter, "strategy-portfolio races started"},
+	{CtrPortfolioLaneDone, KindCounter, "portfolio lanes run to natural completion"},
+	{CtrPortfolioCancelled, KindCounter, "portfolio lanes cancelled by the zero-objective shortcut"},
+	{GagPortfolioWinner, KindGauge, "lane index of the last portfolio winner"},
+	{CtrSolveCacheHits, KindCounter, "requests served from the solution cache"},
+	{CtrSolveCacheMisses, KindCounter, "requests that led a fresh solve"},
+	{CtrSolveCacheInflight, KindCounter, "requests coalesced onto an in-flight solve"},
+	{CtrSolveCacheStores, KindCounter, "solutions stored in the cache"},
+	{CtrSolveCacheEvict, KindCounter, "solutions evicted by the LRU bound"},
+	{GagSolveCacheEntries, KindGauge, "solutions resident in the cache"},
 	{CtrTxnApplies, KindCounter, "candidate placements applied in place"},
 	{CtrTxnRollbacks, KindCounter, "transactions rolled back after scoring"},
 	{CtrTxnDirty, KindCounter, "touched intervals (busy + bus) across transactions"},
@@ -151,6 +181,8 @@ var catalog = []Instrument{
 	{CtrSessBaselineBuilds, KindCounter, "session metric baselines computed"},
 	{CtrSessBaselineReuses, KindCounter, "session commits served from a cached baseline"},
 	{GagSessLive, KindGauge, "design sessions resident in memory"},
+	{CtrSessSolveCacheHits, KindCounter, "session commits served from the solution cache"},
+	{CtrSessSolveCacheStores, KindCounter, "session commit solutions stored in the cache"},
 }
 
 // Catalog returns the declared instrument set in documentation order.

@@ -25,6 +25,7 @@ import (
 //	sa.best      Chain, Iter, Cost         — a chain found a new best
 //	sa.window    Chain, Iter, Accepts, Rejects — cooling-window statistics
 //	sa.chain     Chain, Cost               — a chain's final best
+//	portfolio.lane Strategy, Chain, Cost, Evaluations, Feasible — a race lane's outcome
 //	decision     Strategy, Chain, Cost     — the winning design
 //	solve.done   Strategy, Cost, Evaluations
 //

@@ -1,0 +1,176 @@
+package serve
+
+// Whole-solution caching and single-flight dedup for POST /v1/solve.
+//
+// With Config.SolutionCacheSize > 0 every solve request is fingerprinted
+// (internal/cache: canonical SHA-256 over the posted system, problem
+// parameters and strategy tuning — the engine's exact memo key
+// generalized to whole problems). The response is annotated with
+// X-Incdes-Cache:
+//
+//	hit       served from the LRU; no job queued, no engine work
+//	miss      this request ran the solve (the single-flight leader)
+//	inflight  coalesced onto an identical in-flight solve (follower)
+//
+// Requests opt out per-request with cache=off (no header is set).
+// core.Solve is deterministic, so a cached or coalesced response is
+// byte-identical to the solve the request would have run — including the
+// SSE trace stream, which followers and hits replay from the leader's
+// buffered events.
+//
+// Single-flight semantics: the leader's solve runs under the flight's
+// context (derived from the server, not the leader's connection), so a
+// leader disconnect while followers wait does not kill their solve; the
+// solve is cancelled only when the last member leaves. Interrupted and
+// failed solves are never stored.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"time"
+
+	"incdes/internal/cache"
+	"incdes/internal/core"
+	"incdes/internal/obs"
+)
+
+// cacheHeader annotates cache-eligible solve responses.
+const cacheHeader = "X-Incdes-Cache"
+
+// solutionEntry is one cached one-shot solve: the response document plus
+// the trace events that replay its SSE stream.
+type solutionEntry struct {
+	doc    *SolutionDoc
+	events []obs.TraceEvent
+}
+
+// flightResult is what a completed flight hands every member.
+type flightResult struct {
+	doc    *SolutionDoc
+	events []obs.TraceEvent
+}
+
+// cacheSpec is the canonical strategy identity of the request, hashed
+// into the problem fingerprint.
+func (p SolveParams) cacheSpec() cache.Spec {
+	return cache.Spec{
+		Name:       p.Strategy,
+		SAIters:    p.SAIters,
+		SARestarts: p.SARestarts,
+		SASeed:     p.SASeed,
+	}
+}
+
+// serveHit answers a request from the solution cache: a job is
+// registered (bypassing the queue — a hit does no solver work) so the
+// status and SSE endpoints behave exactly as for a solved job, the
+// leader's trace is replayed into it, and it completes immediately.
+func (s *Server) serveHit(w http.ResponseWriter, ent *solutionEntry, params SolveParams, tag string) {
+	w.Header().Set(cacheHeader, "hit")
+	s.global.Counter(obs.CtrSolveCacheHits).Inc()
+	j := s.register(tag)
+	for _, ev := range ent.events {
+		j.buf.Trace(ev)
+	}
+	j.finish(ent.doc, nil)
+	s.finalize(j)
+	if params.Detach {
+		w.Header().Set("Location", "/v1/solve/"+j.id)
+		writeJSON(w, http.StatusAccepted, s.statusDoc(j))
+		return
+	}
+	writeJSON(w, http.StatusOK, s.statusDoc(j))
+}
+
+// leaderWork is the single-flight leader's work closure: it launches the
+// real solve under the flight's context, stores the result on success,
+// and waits for completion under the leader's own (request-bound)
+// context.
+func (s *Server) leaderWork(f *cache.Flight, j *job, p *core.Problem, frozen int, params SolveParams, key string) func(context.Context) (*SolutionDoc, error) {
+	return func(ctx context.Context) (*SolutionDoc, error) {
+		solve := s.solveWork(j, p, frozen, params)
+		go func() {
+			doc, err := solve(f.Context())
+			if err == nil && doc != nil && !doc.Interrupted {
+				s.storeSolution(key, doc, j.buf.snapshot())
+			}
+			f.Complete(&flightResult{doc: doc, events: j.buf.snapshot()}, err)
+		}()
+		val, err := s.awaitFlight(ctx, f)
+		if err != nil {
+			return nil, err
+		}
+		return val.doc, nil
+	}
+}
+
+// runFollower drives a coalesced request: no worker slot, no queue
+// accounting — the job only waits for the leader's flight and then
+// mirrors its outcome, replaying the leader's trace into its own SSE
+// buffer. Mirrors run()'s cancellation and timeout plumbing so DELETE,
+// client disconnect, JobTimeout and shutdown behave identically.
+func (s *Server) runFollower(ctx context.Context, j *job, requested time.Duration, f *cache.Flight) {
+	ctx, cancel := context.WithCancel(ctx)
+	j.mu.Lock()
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+	stopWatch := context.AfterFunc(s.baseCtx, cancel)
+	defer stopWatch()
+	timeout := requested
+	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
+		timeout = s.cfg.JobTimeout
+	}
+	if timeout > 0 {
+		var tcancel context.CancelFunc
+		ctx, tcancel = context.WithTimeout(ctx, timeout)
+		defer tcancel()
+	}
+	j.setStatus(StatusRunning)
+	val, err := s.awaitFlight(ctx, f)
+	if err != nil {
+		j.finish(nil, err)
+		s.finalize(j)
+		return
+	}
+	for _, ev := range val.events {
+		j.buf.Trace(ev)
+	}
+	j.finish(val.doc, nil)
+	s.finalize(j)
+}
+
+// awaitFlight waits for the flight under the member's own context.
+// Leaving as the last member cancels the flight's solve, which then
+// completes with its best-so-far design — the same semantics a lone
+// request's disconnect has always had — so the member still receives the
+// interrupted document. Leaving while others remain abandons the result
+// to them.
+func (s *Server) awaitFlight(ctx context.Context, f *cache.Flight) (*flightResult, error) {
+	select {
+	case <-f.Done():
+		f.Leave()
+	case <-ctx.Done():
+		if f.Leave() > 0 {
+			return nil, fmt.Errorf("abandoned coalesced solve: %w", ctx.Err())
+		}
+		// Last member out: Leave cancelled the flight's context; the
+		// solve winds down to best-so-far and completes promptly.
+		<-f.Done()
+	}
+	v, err := f.Result()
+	if err != nil {
+		return nil, err
+	}
+	return v.(*flightResult), nil
+}
+
+// storeSolution caches a completed solve and keeps the serve-level cache
+// instruments current.
+func (s *Server) storeSolution(key string, doc *SolutionDoc, events []obs.TraceEvent) {
+	if s.solutions.Put(key, &solutionEntry{doc: doc, events: events}) {
+		s.global.Counter(obs.CtrSolveCacheEvict).Inc()
+	}
+	s.global.Counter(obs.CtrSolveCacheStores).Inc()
+}

@@ -1,0 +1,360 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"incdes/internal/core"
+	"incdes/internal/model"
+)
+
+// newCachingServer is newTestServer with the solution cache enabled.
+func newCachingServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// metricValue scrapes /metrics and returns one sample's value.
+func metricValue(t *testing.T, ts *httptest.Server, metric, strategy string) float64 {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	prefix := fmt.Sprintf("%s{strategy=%q} ", metric, strategy)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		if rest, ok := strings.CutPrefix(line, prefix); ok {
+			v, err := strconv.ParseFloat(strings.TrimSpace(rest), 64)
+			if err != nil {
+				t.Fatalf("unparseable sample %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("no sample %q in /metrics", prefix)
+	return 0
+}
+
+// rawJobDoc keeps the solution document's bytes exactly as transmitted,
+// for byte-identity assertions.
+type rawJobDoc struct {
+	ID       string          `json:"id"`
+	Status   string          `json:"status"`
+	Solution json.RawMessage `json:"solution"`
+}
+
+// pollStatus waits for GET /v1/solve/{id} to report one of the wanted
+// statuses.
+func pollStatus(t *testing.T, ts *httptest.Server, id string, want ...string) JobStatusDoc {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var doc JobStatusDoc
+		if resp := do(t, "GET", ts.URL+"/v1/solve/"+id, nil, &doc); resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/solve/%s = %d", id, resp.StatusCode)
+		}
+		for _, w := range want {
+			if doc.Status == w {
+				return doc
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck at %q, want one of %v", id, doc.Status, want)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestSolveCacheMissThenHit pins the acceptance contract of the
+// solution cache: the second identical request is served from the LRU
+// with the byte-identical document, zero new engine evaluations, and
+// the X-Incdes-Cache header sequence miss → hit.
+func TestSolveCacheMissThenHit(t *testing.T) {
+	_, ts := newCachingServer(t, Config{Parallelism: 1, MaxConcurrent: 2, SolutionCacheSize: 8})
+	body := fixtureJSON(t)
+
+	var first rawJobDoc
+	resp := do(t, "POST", ts.URL+"/v1/solve?strategy=mh", body, &first)
+	if resp.StatusCode != http.StatusOK || first.Status != StatusDone {
+		t.Fatalf("first solve = %d %q", resp.StatusCode, first.Status)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Fatalf("first solve %s = %q, want miss", cacheHeader, got)
+	}
+	evalsAfterMiss := metricValue(t, ts, "incdes_core_evaluations_total", "all")
+	if evalsAfterMiss <= 0 {
+		t.Fatalf("no evaluations recorded after a real solve")
+	}
+
+	var second rawJobDoc
+	resp = do(t, "POST", ts.URL+"/v1/solve?strategy=mh", body, &second)
+	if resp.StatusCode != http.StatusOK || second.Status != StatusDone {
+		t.Fatalf("second solve = %d %q", resp.StatusCode, second.Status)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "hit" {
+		t.Fatalf("second solve %s = %q, want hit", cacheHeader, got)
+	}
+	if !bytes.Equal(first.Solution, second.Solution) {
+		t.Errorf("cached solution differs from the original:\nmiss: %.200s\nhit:  %.200s", first.Solution, second.Solution)
+	}
+	if second.ID == first.ID {
+		t.Error("hit reused the original job id")
+	}
+	// The acceptance criterion: a hit does zero engine work.
+	if got := metricValue(t, ts, "incdes_core_evaluations_total", "all"); got != evalsAfterMiss {
+		t.Errorf("hit ran %v new evaluations, want 0", got-evalsAfterMiss)
+	}
+	if got := metricValue(t, ts, "incdes_cache_hits_total", "all"); got != 1 {
+		t.Errorf("cache hits = %v, want 1", got)
+	}
+	if got := metricValue(t, ts, "incdes_cache_stores_total", "all"); got != 1 {
+		t.Errorf("cache stores = %v, want 1", got)
+	}
+	if got := metricValue(t, ts, "incdes_cache_entries", "all"); got != 1 {
+		t.Errorf("cache entries gauge = %v, want 1", got)
+	}
+
+	// And the cached document is byte-identical to a direct library
+	// solve of the same problem.
+	sys, err := model.ReadSystem(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProblem(sys, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MH, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := NewSolutionDoc(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantJSON := marshal(t, want); !bytes.Equal(second.Solution, wantJSON) {
+		t.Errorf("cached solution differs from direct core.Solve:\nhit:    %.200s\ndirect: %.200s", second.Solution, wantJSON)
+	}
+}
+
+// TestSolveCacheOffBypasses pins the per-request opt-out: cache=off
+// neither reads nor writes the cache and sets no header.
+func TestSolveCacheOffBypasses(t *testing.T) {
+	_, ts := newCachingServer(t, Config{Parallelism: 1, MaxConcurrent: 2, SolutionCacheSize: 8})
+	body := fixtureJSON(t)
+
+	resp := do(t, "POST", ts.URL+"/v1/solve?strategy=mh", body, nil)
+	if got := resp.Header.Get(cacheHeader); got != "miss" {
+		t.Fatalf("warm-up solve header = %q, want miss", got)
+	}
+	evals := metricValue(t, ts, "incdes_core_evaluations_total", "all")
+
+	// cache=off must re-solve even though an identical entry is cached.
+	resp = do(t, "POST", ts.URL+"/v1/solve?strategy=mh&cache=off", body, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache=off solve = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(cacheHeader); got != "" {
+		t.Errorf("cache=off set %s = %q, want no header", cacheHeader, got)
+	}
+	if got := metricValue(t, ts, "incdes_core_evaluations_total", "all"); got <= evals {
+		t.Error("cache=off request did not run the engine")
+	}
+	if got := metricValue(t, ts, "incdes_cache_hits_total", "all"); got != 0 {
+		t.Errorf("cache hits = %v, want 0", got)
+	}
+	if got := metricValue(t, ts, "incdes_cache_stores_total", "all"); got != 1 {
+		t.Errorf("cache stores = %v, want 1 (cache=off must not store)", got)
+	}
+	if resp := do(t, "POST", ts.URL+"/v1/solve?strategy=mh&cache=banana", body, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad cache= value = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSolveSingleFlightCoalesces pins the dedup contract end to end:
+// concurrent identical requests run ONE solve; followers replay the
+// leader's result byte-identically and are marked inflight.
+func TestSolveSingleFlightCoalesces(t *testing.T) {
+	_, ts := newCachingServer(t, Config{Parallelism: 1, MaxConcurrent: 1, QueueDepth: 8, SolutionCacheSize: 8})
+	body := fixtureJSON(t)
+	// ~0.6s of annealing: long enough that followers provably join the
+	// flight (they are issued after the leader reports running), short
+	// enough to keep the test quick.
+	const query = "/v1/solve?strategy=sa&sa-iters=4000&seed=7"
+
+	var leader JobStatusDoc
+	resp := do(t, "POST", ts.URL+query+"&detach=1", body, &leader)
+	if resp.StatusCode != http.StatusAccepted || resp.Header.Get(cacheHeader) != "miss" {
+		t.Fatalf("leader = %d, %s = %q", resp.StatusCode, cacheHeader, resp.Header.Get(cacheHeader))
+	}
+	pollStatus(t, ts, leader.ID, StatusRunning, StatusDone)
+
+	const followers = 3
+	headers := make([]string, followers)
+	docs := make([]rawJobDoc, followers)
+	var wg sync.WaitGroup
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp := do(t, "POST", ts.URL+query, body, &docs[i])
+			headers[i] = resp.Header.Get(cacheHeader)
+		}(i)
+	}
+	wg.Wait()
+	final := pollStatus(t, ts, leader.ID, StatusDone)
+	leaderJSON := marshal(t, final.Solution)
+
+	for i := 0; i < followers; i++ {
+		if headers[i] != "inflight" && headers[i] != "hit" {
+			t.Errorf("follower %d header = %q, want inflight (or hit)", i, headers[i])
+		}
+		if docs[i].Status != StatusDone {
+			t.Errorf("follower %d status = %q", i, docs[i].Status)
+		}
+		if !bytes.Equal(docs[i].Solution, leaderJSON) {
+			t.Errorf("follower %d solution differs from the leader's", i)
+		}
+	}
+	// The decisive assertion: one strategy run total, for 4 requests.
+	if got := metricValue(t, ts, "incdes_core_solves_total", "all"); got != 1 {
+		t.Errorf("core solves = %v, want 1 (followers must coalesce)", got)
+	}
+	if got := metricValue(t, ts, "incdes_cache_misses_total", "all"); got != 1 {
+		t.Errorf("cache misses = %v, want 1", got)
+	}
+	inflight := metricValue(t, ts, "incdes_cache_inflight_dedup_total", "all")
+	hits := metricValue(t, ts, "incdes_cache_hits_total", "all")
+	if inflight+hits != followers {
+		t.Errorf("inflight(%v) + hits(%v) != %d followers", inflight, hits, followers)
+	}
+
+	// A later identical request is a plain hit off the stored entry.
+	if resp := do(t, "POST", ts.URL+query, body, nil); resp.Header.Get(cacheHeader) != "hit" {
+		t.Errorf("post-flight request header = %q, want hit", resp.Header.Get(cacheHeader))
+	}
+}
+
+// TestSolveLeaderCancelPromotesFollower pins the flight's ownership
+// rule: cancelling the leader's request must not kill the solve while a
+// follower waits on it, and an interrupted solve is never cached.
+func TestSolveLeaderCancelPromotesFollower(t *testing.T) {
+	_, ts := newCachingServer(t, Config{Parallelism: 1, MaxConcurrent: 1, QueueDepth: 8, SolutionCacheSize: 8})
+	body := fixtureJSON(t)
+	// Effectively endless: the test tears it down via DELETE.
+	const query = "/v1/solve?strategy=sa&sa-iters=50000000&detach=1"
+
+	var leader JobStatusDoc
+	if resp := do(t, "POST", ts.URL+query, body, &leader); resp.Header.Get(cacheHeader) != "miss" {
+		t.Fatalf("leader header = %q, want miss", resp.Header.Get(cacheHeader))
+	}
+	pollStatus(t, ts, leader.ID, StatusRunning)
+
+	var follower JobStatusDoc
+	if resp := do(t, "POST", ts.URL+query, body, &follower); resp.Header.Get(cacheHeader) != "inflight" {
+		t.Fatalf("follower header = %q, want inflight", resp.Header.Get(cacheHeader))
+	}
+
+	// Cancel the leader: its job fails (it abandoned the coalesced
+	// solve) but the flight lives on for the follower.
+	do(t, "DELETE", ts.URL+"/v1/solve/"+leader.ID, nil, nil)
+	lfin := pollStatus(t, ts, leader.ID, StatusFailed)
+	if !strings.Contains(lfin.Error, "abandoned coalesced solve") {
+		t.Errorf("cancelled leader error = %q", lfin.Error)
+	}
+	if doc := pollStatus(t, ts, follower.ID, StatusRunning); doc.Status != StatusRunning {
+		t.Fatalf("follower status after leader cancel = %q", doc.Status)
+	}
+
+	// Cancel the follower too — the last member out winds the solve down
+	// to its best-so-far, which the follower still receives.
+	do(t, "DELETE", ts.URL+"/v1/solve/"+follower.ID, nil, nil)
+	ffin := pollStatus(t, ts, follower.ID, StatusInterrupted)
+	if ffin.Solution == nil || !ffin.Solution.Interrupted {
+		t.Fatalf("interrupted follower has no best-so-far solution: %+v", ffin)
+	}
+	// Interrupted solves must never poison the cache.
+	if got := metricValue(t, ts, "incdes_cache_stores_total", "all"); got != 0 {
+		t.Errorf("cache stores = %v after interrupted flight, want 0", got)
+	}
+	if resp := do(t, "POST", ts.URL+"/v1/solve?strategy=mh", body, nil); resp.Header.Get(cacheHeader) != "miss" {
+		t.Errorf("fresh request header = %q, want miss", resp.Header.Get(cacheHeader))
+	}
+}
+
+// TestSessionCommitSolveCache pins the session integration: two commits
+// of the same application onto the same parent baseline share one
+// solve, keyed by the parent's composite fingerprint.
+func TestSessionCommitSolveCache(t *testing.T) {
+	_, ts := newCachingServer(t, Config{Parallelism: 1, MaxConcurrent: 2, SolutionCacheSize: 8})
+	sysJSON, apps, _ := sessionFixture(t)
+	id := openSession(t, ts, sysJSON, "")
+	for _, name := range []string{"b", "c"} {
+		if resp := do(t, "POST", ts.URL+"/v1/sessions/"+id+"/branches?name="+name+"&from=0", nil, nil); resp.StatusCode != http.StatusCreated {
+			t.Fatalf("branch %s = %d", name, resp.StatusCode)
+		}
+	}
+
+	first := commitApp(t, ts, id, apps[0], "?strategy=mh")
+	if first.Commit.CacheHit {
+		t.Fatal("first commit reported a cache hit")
+	}
+
+	// Identical app, identical parent (v0 via branch b): served from the
+	// cache, byte-identical, flagged in both the header and the doc.
+	var second JobStatusDoc
+	resp := do(t, "POST", ts.URL+"/v1/sessions/"+id+"/commits?strategy=mh&branch=b", apps[0], &second)
+	if resp.StatusCode != http.StatusOK || second.Status != StatusDone {
+		t.Fatalf("branch commit = %d %q", resp.StatusCode, second.Status)
+	}
+	if resp.Header.Get(cacheHeader) != "hit" || second.Commit == nil || !second.Commit.CacheHit {
+		t.Errorf("second commit not served from cache: header=%q commit=%+v", resp.Header.Get(cacheHeader), second.Commit)
+	}
+	if !bytes.Equal(marshal(t, first.Solution), marshal(t, second.Solution)) {
+		t.Error("cached commit solution differs from the solved one")
+	}
+	if got := metricValue(t, ts, "incdes_session_solve_cache_hits_total", "all"); got != 1 {
+		t.Errorf("session solve-cache hits = %v, want 1", got)
+	}
+
+	// cache=off opts a commit out of both lookup and store.
+	var third JobStatusDoc
+	resp = do(t, "POST", ts.URL+"/v1/sessions/"+id+"/commits?strategy=mh&branch=c&cache=off", apps[0], &third)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache=off commit = %d", resp.StatusCode)
+	}
+	if resp.Header.Get(cacheHeader) != "" || (third.Commit != nil && third.Commit.CacheHit) {
+		t.Errorf("cache=off commit used the cache: header=%q commit=%+v", resp.Header.Get(cacheHeader), third.Commit)
+	}
+	if !bytes.Equal(marshal(t, first.Solution), marshal(t, third.Solution)) {
+		t.Error("uncached commit solution differs — determinism broken")
+	}
+
+	// A different application on a different parent shares nothing with
+	// the cached entry: plain miss.
+	next := commitApp(t, ts, id, apps[1], "?strategy=mh") // parent main:v1
+	if next.Commit.CacheHit {
+		t.Error("commit of a different app on a different parent hit the cache")
+	}
+	if got := metricValue(t, ts, "incdes_session_solve_cache_hits_total", "all"); got != 1 {
+		t.Errorf("session solve-cache hits = %v, want still 1", got)
+	}
+}

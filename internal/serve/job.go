@@ -27,7 +27,7 @@ const (
 // SolveParams are the per-request knobs of one solve, parsed from the
 // POST /solve query string.
 type SolveParams struct {
-	Strategy   string        // "ah", "mh" or "sa" (default "mh")
+	Strategy   string        // "ah", "mh", "sa" or "portfolio" (default "mh")
 	App        string        // current-application name; "" = the system's last
 	SAIters    int           // SA iterations per chain (0 = auto-size)
 	SARestarts int           // SA restart chains (0 = 1)
@@ -35,6 +35,7 @@ type SolveParams struct {
 	Parallel   int           // evaluation workers (0 = server default)
 	Timeout    time.Duration // per-job cap (bounded by the server's JobTimeout)
 	Detach     bool          // return 202 immediately instead of waiting
+	NoCache    bool          // cache=off: bypass the solution cache for this request
 }
 
 // strategy resolves the params into a core.Strategy.
@@ -45,16 +46,25 @@ func (p SolveParams) strategy() (core.Strategy, error) {
 	case "ah":
 		return core.AH, nil
 	case "sa":
-		opts := core.DefaultSAOptions()
-		opts.Iterations = p.SAIters
-		opts.Restarts = p.SARestarts
-		if p.SASeed != 0 {
-			opts.Seed = p.SASeed
-		}
-		return core.SAWith(opts), nil
+		return core.SAWith(p.saOptions()), nil
+	case "portfolio":
+		// The portfolio's SA lane inherits the request's SA tuning.
+		return core.PortfolioWith(core.PortfolioOptions{
+			Lanes: []core.Strategy{core.AH, core.MH, core.SAWith(p.saOptions())},
+		}), nil
 	default:
-		return nil, fmt.Errorf("unknown strategy %q (want ah, mh or sa)", p.Strategy)
+		return nil, fmt.Errorf("unknown strategy %q (want ah, mh, sa or portfolio)", p.Strategy)
 	}
+}
+
+func (p SolveParams) saOptions() core.SAOptions {
+	opts := core.DefaultSAOptions()
+	opts.Iterations = p.SAIters
+	opts.Restarts = p.SARestarts
+	if p.SASeed != 0 {
+		opts.Seed = p.SASeed
+	}
+	return opts
 }
 
 // BuildProblem freezes every application of sys except the current one
@@ -166,6 +176,14 @@ func (b *eventBuffer) wakeLocked() {
 	b.waiters = b.waiters[:0]
 }
 
+// snapshot returns a copy of everything buffered so far; the solution
+// cache stores it so hits and followers can replay the leader's stream.
+func (b *eventBuffer) snapshot() []obs.TraceEvent {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]obs.TraceEvent(nil), b.events...)
+}
+
 // next returns the events after index from (a copy), whether the stream
 // is complete, and — when there is nothing new and the stream is still
 // open — a channel that closes on the next event or on completion.
@@ -192,6 +210,7 @@ type CommitInfo struct {
 	Version        int    `json:"version"`
 	Parent         int    `json:"parent"`
 	BaselineReused bool   `json:"baseline_reused,omitempty"`
+	CacheHit       bool   `json:"cache_hit,omitempty"`
 }
 
 // job is one solve request moving through the bounded manager.

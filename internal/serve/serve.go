@@ -55,6 +55,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"incdes/internal/cache"
 	"incdes/internal/core"
 	"incdes/internal/model"
 	"incdes/internal/obs"
@@ -87,6 +88,10 @@ type Config struct {
 	Incremental core.IncrementalMode
 	// MaxBodyBytes bounds the POST /solve request body (default 64 MiB).
 	MaxBodyBytes int64
+	// SolutionCacheSize bounds the whole-solution cache (entries). 0
+	// disables solution caching and single-flight dedup entirely (the
+	// default); see cache.go for the semantics when enabled.
+	SolutionCacheSize int
 	// SessionStore persists versioned design sessions. nil selects an
 	// in-memory store (sessions die with the process); cmd/incmapd wires
 	// a session.DiskStore here for durable sessions.
@@ -124,6 +129,10 @@ type Server struct {
 	running atomic.Int64
 	queued  atomic.Int64
 
+	// Whole-solution cache + single-flight dedup (nil when disabled).
+	solutions *cache.LRU
+	flights   *cache.Group
+
 	sessions *session.Manager
 	sessErr  error // deferred session-manager init failure
 
@@ -152,6 +161,10 @@ func New(cfg Config) *Server {
 		perStrat: map[string]*obs.Registry{},
 		global:   obs.NewRegistry(),
 		solves:   map[[2]string]int64{},
+	}
+	if cfg.SolutionCacheSize > 0 {
+		s.solutions = cache.NewLRU(cfg.SolutionCacheSize)
+		s.flights = cache.NewGroup()
 	}
 	for _, ins := range obs.Catalog() {
 		switch ins.Kind {
@@ -360,6 +373,13 @@ func parseSolveParams(r *http.Request) (SolveParams, error) {
 		}
 		p.Timeout = d
 	}
+	switch v := q.Get("cache"); v {
+	case "", "on":
+	case "off", "0", "false":
+		p.NoCache = true
+	default:
+		return p, fmt.Errorf("bad cache=%q (want off)", v)
+	}
 	return p, nil
 }
 
@@ -371,6 +391,18 @@ func (s *Server) submit(strategyTag string) (*job, error) {
 		return nil, fmt.Errorf("queue full: %d solves waiting", s.queued.Load())
 	}
 	s.queued.Add(1)
+	return s.registerLocked(strategyTag), nil
+}
+
+// register creates a job outside the queue accounting: cache hits do no
+// solver work, so they bypass admission control entirely.
+func (s *Server) register(strategyTag string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registerLocked(strategyTag)
+}
+
+func (s *Server) registerLocked(strategyTag string) *job {
 	s.nextID++
 	j := &job{
 		id:       "j" + strconv.FormatInt(s.nextID, 10),
@@ -381,7 +413,7 @@ func (s *Server) submit(strategyTag string) (*job, error) {
 		done:     make(chan struct{}),
 	}
 	s.jobs[j.id] = j
-	return j, nil
+	return j
 }
 
 // run executes one job to completion: waits for a worker slot, invokes
@@ -536,12 +568,57 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, ErrCodeInvalidInput, "building problem: %v", err)
 		return
 	}
+	useCache := s.solutions != nil && !params.NoCache
+	var key string
+	if useCache {
+		key = cache.Fingerprint(cache.Request{
+			System:   sys,
+			App:      params.App,
+			Profile:  p.Profile,
+			Weights:  p.Weights,
+			Strategy: params.cacheSpec(),
+		})
+		if v, ok := s.solutions.Get(key); ok {
+			s.serveHit(w, v.(*solutionEntry), params, strat.Name())
+			return
+		}
+	}
 	j, err := s.submit(strat.Name())
 	if err != nil {
 		writeRetryError(w, http.StatusTooManyRequests, ErrCodeQueueFull, time.Second, "%v", err)
 		return
 	}
-	work := s.solveWork(j, p, len(sys.Apps)-1, params)
+	var work func(context.Context) (*SolutionDoc, error)
+	if useCache {
+		f, leader := s.flights.Join(s.baseCtx, key)
+		if !leader {
+			// Coalesce onto the in-flight identical solve: the follower
+			// holds neither a queue position nor a worker slot, so give the
+			// admission count back.
+			s.queued.Add(-1)
+			w.Header().Set(cacheHeader, "inflight")
+			s.global.Counter(obs.CtrSolveCacheInflight).Inc()
+			if params.Detach {
+				go s.runFollower(s.baseCtx, j, params.Timeout, f)
+				w.Header().Set("Location", "/v1/solve/"+j.id)
+				writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
+				return
+			}
+			s.runFollower(r.Context(), j, params.Timeout, f)
+			doc := s.statusDoc(j)
+			if doc.Status == StatusFailed {
+				writeJSON(w, http.StatusUnprocessableEntity, doc)
+				return
+			}
+			writeJSON(w, http.StatusOK, doc)
+			return
+		}
+		w.Header().Set(cacheHeader, "miss")
+		s.global.Counter(obs.CtrSolveCacheMisses).Inc()
+		work = s.leaderWork(f, j, p, len(sys.Apps)-1, params, key)
+	} else {
+		work = s.solveWork(j, p, len(sys.Apps)-1, params)
+	}
 	if params.Detach {
 		// Detached jobs belong to the server, not the request: the job
 		// outlives the connection and is cancelled only by DELETE,
@@ -662,6 +739,12 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c := promtext.NewCollection(promtext.DefaultNamespace)
+
+	// Refresh the cache-occupancy gauge: entries come and go through
+	// both the solve and session-commit paths, so read the LRU directly.
+	if s.solutions != nil {
+		s.global.Gauge(obs.GagSolveCacheEntries).Set(int64(s.solutions.Len()))
+	}
 
 	// Engine/scheduler/bus catalog: the cross-strategy aggregate under
 	// {strategy="all"}, plus one label set per strategy that has run.

@@ -185,13 +185,18 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	work := func(ctx context.Context) (*SolutionDoc, error) {
-		res, err := sess.Commit(ctx, app, session.CommitParams{
+		cp := session.CommitParams{
 			Branch:      branch,
 			Strategy:    strat,
 			Parallelism: s.parallelism(params),
 			Incremental: s.cfg.Incremental,
 			Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
-		})
+		}
+		if s.solutions != nil && !params.NoCache {
+			cp.SolveCache = s.solutions
+			cp.CacheSpec = params.cacheSpec()
+		}
+		res, err := sess.Commit(ctx, app, cp)
 		if err != nil {
 			return nil, err
 		}
@@ -201,6 +206,7 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 			Version:        res.Version,
 			Parent:         res.Parent,
 			BaselineReused: res.BaselineReused,
+			CacheHit:       res.CacheHit,
 		})
 		return NewSolutionDoc(res.Solution)
 	}
@@ -212,6 +218,9 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.run(r.Context(), j, params.Timeout, work)
 	doc := s.statusDoc(j)
+	if ci := j.commitInfo(); ci != nil && ci.CacheHit {
+		w.Header().Set(cacheHeader, "hit")
+	}
 	if doc.Status == StatusFailed {
 		writeJSON(w, http.StatusUnprocessableEntity, doc)
 		return

@@ -35,6 +35,7 @@ import (
 	"strings"
 	"sync"
 
+	"incdes/internal/cache"
 	"incdes/internal/core"
 	"incdes/internal/future"
 	"incdes/internal/gen"
@@ -434,6 +435,28 @@ type CommitParams struct {
 	Incremental core.IncrementalMode
 	CacheSize   int
 	Observer    *obs.Observer
+	// SolveCache, when non-nil, is a whole-solution cache consulted
+	// before the solve. The key is the commit's problem fingerprint and
+	// includes the parent version's composite-schedule fingerprint, so a
+	// hit is only possible when the exact frozen base, committed
+	// application, objective and strategy all match — and then the cached
+	// decisions rematerialize byte-identically (deterministic replay).
+	// Only complete (uninterrupted) solves are stored.
+	SolveCache *cache.LRU
+	// CacheSpec is the canonical strategy identity hashed into the cache
+	// key; ignored when SolveCache is nil.
+	CacheSpec cache.Spec
+}
+
+// commitSolveEntry is one cached commit solve: the decisions plus the
+// result fields needed to freeze an identical version without running
+// the engine. Mapping and hints are stored as private clones.
+type commitSolveEntry struct {
+	strategy    string
+	mapping     model.Mapping
+	hints       sched.Hints
+	report      metrics.Report
+	evaluations int
 }
 
 // CommitResult reports one commit.
@@ -451,6 +474,9 @@ type CommitResult struct {
 	// BaselineReused reports whether the parent version's metric
 	// baseline was served from the session cache.
 	BaselineReused bool
+	// CacheHit reports whether the whole solve was served from
+	// CommitParams.SolveCache (the engine never ran).
+	CacheHit bool
 }
 
 // Commit maps and schedules app against the frozen composite of the
@@ -517,24 +543,72 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 		s.mu.Unlock()
 		return nil, err
 	}
+	parentFP := s.doc.Versions[head].Fingerprint
 	s.mu.Unlock()
 
-	prob, err := core.NewProblem(newSys, base, app, s.prof, s.weights)
-	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrIllegalCommit, err)
+	var key string
+	var sol *core.Solution
+	cacheHit := false
+	if p.SolveCache != nil {
+		key = cache.Fingerprint(cache.Request{
+			Parent:   parentFP,
+			System:   parentSys,
+			Commit:   app,
+			Profile:  s.prof,
+			Weights:  s.weights,
+			Strategy: p.CacheSpec,
+		})
+		if v, ok := p.SolveCache.Get(key); ok {
+			ent := v.(*commitSolveEntry)
+			// Rematerialize the cached decisions on a clone of the freshly
+			// restricted base; replay is deterministic, so the frozen
+			// version is byte-identical to the one the original solve
+			// produced. A replay failure falls through to a real solve (on
+			// the untouched base) — the cache is advisory, never
+			// authoritative.
+			st := base.Clone()
+			if err := st.ScheduleApp(app, ent.mapping, ent.hints); err == nil {
+				sol = &core.Solution{
+					Strategy:    ent.strategy,
+					Mapping:     ent.mapping.Clone(),
+					Hints:       ent.hints.Clone(),
+					State:       st,
+					Report:      ent.report,
+					Evaluations: ent.evaluations,
+				}
+				cacheHit = true
+				s.count(obs.CtrSessSolveCacheHits)
+			}
+		}
 	}
-	sol, err := core.Solve(ctx, prob, core.Options{
-		Strategy:    p.Strategy,
-		Parallelism: p.Parallelism,
-		Incremental: p.Incremental,
-		CacheSize:   p.CacheSize,
-		Baseline:    bl,
-		Observer:    p.Observer,
-	})
-	if err != nil {
-		return nil, err
+	if sol == nil {
+		prob, err := core.NewProblem(newSys, base, app, s.prof, s.weights)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrIllegalCommit, err)
+		}
+		sol, err = core.Solve(ctx, prob, core.Options{
+			Strategy:    p.Strategy,
+			Parallelism: p.Parallelism,
+			Incremental: p.Incremental,
+			CacheSize:   p.CacheSize,
+			Baseline:    bl,
+			Observer:    p.Observer,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if p.SolveCache != nil && !sol.Interrupted {
+			p.SolveCache.Put(key, &commitSolveEntry{
+				strategy:    sol.Strategy,
+				mapping:     sol.Mapping.Clone(),
+				hints:       sol.Hints.Clone(),
+				report:      sol.Report,
+				evaluations: sol.Evaluations,
+			})
+			s.count(obs.CtrSessSolveCacheStores)
+		}
 	}
-	res := &CommitResult{Version: -1, Parent: head, Branch: branch, Solution: sol, BaselineReused: reused}
+	res := &CommitResult{Version: -1, Parent: head, Branch: branch, Solution: sol, BaselineReused: reused, CacheHit: cacheHit}
 	if sol.Interrupted {
 		return res, nil
 	}
