@@ -9,6 +9,7 @@
 //	incload [-profile smoke|mixed|resubmit] [-requests N] [-concurrency N]
 //	        [-seed S] [-strategy mh] [-solution-cache N] [-no-cache]
 //	        [-out LOAD_smoke.json] [-max-p99 MS] [-min-hit-rate R]
+//	        [-metrics-lint] [-slow-request-log D]
 //	incload -diff baseline.json candidate.json [-threshold T]
 //
 // The first form runs the profile and optionally gates on absolute
@@ -24,10 +25,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 
 	"incdes/internal/load"
+	"incdes/internal/obs/promtext"
 	"incdes/internal/serve"
 )
 
@@ -44,6 +48,8 @@ func main() {
 	minHitRate := flag.Float64("min-hit-rate", 0, "fail when the cache hit rate is below this fraction (0 = no gate)")
 	diff := flag.Bool("diff", false, "compare two report files instead of running")
 	threshold := flag.Float64("threshold", 0.5, "diff mode: tolerated relative latency growth (0.5 = 50%)")
+	metricsLint := flag.Bool("metrics-lint", false, "after the run, scrape /v1/metrics and fail on exposition-format problems")
+	slowRequestLog := flag.Duration("slow-request-log", 0, "log a one-line span breakdown of requests at least this slow (0 = off)")
 	flag.Parse()
 
 	if *diff {
@@ -79,6 +85,7 @@ func main() {
 		Parallelism:       1,
 		RetainJobs:        p.Requests + 8,
 		SolutionCacheSize: *cacheSize,
+		SlowRequestLog:    *slowRequestLog,
 	})
 	defer srv.Close()
 	rep, err := load.Run(srv.Handler(), p)
@@ -100,6 +107,24 @@ func main() {
 		fmt.Printf("FAIL: %d requests errored\n", n)
 		failed = true
 	}
+	if *metricsLint {
+		// Scrape the handler that just served the load: the exposition
+		// must be well-formed with real per-strategy and histogram series
+		// populated, which is exactly when format bugs surface.
+		problems, err := lintMetrics(srv.Handler())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "incload:", err)
+			os.Exit(2)
+		}
+		for _, p := range problems {
+			fmt.Printf("FAIL: metrics-lint: %s\n", p)
+		}
+		if len(problems) > 0 {
+			failed = true
+		} else {
+			fmt.Println("metrics-lint: clean")
+		}
+	}
 	if *maxP99 > 0 {
 		for _, name := range classNames(rep) {
 			if c := rep.Classes[name]; c.P99MS > *maxP99 {
@@ -115,6 +140,18 @@ func main() {
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// lintMetrics scrapes the in-process /v1/metrics endpoint and validates
+// the exposition format.
+func lintMetrics(h http.Handler) ([]string, error) {
+	req := httptest.NewRequest("GET", "/v1/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		return nil, fmt.Errorf("GET /v1/metrics = %d", rec.Code)
+	}
+	return promtext.Lint(rec.Body), nil
 }
 
 func classNames(rep *load.Report) []string {

@@ -6,6 +6,7 @@
 //	incmapd [-addr :8080] [-max-concurrent N] [-queue N]
 //	        [-job-timeout D] [-parallel N] [-retain N] [-pprof]
 //	        [-session-dir DIR] [-solution-cache N]
+//	        [-debug-requests N] [-slow-request-log D]
 //
 // Endpoints (API under /v1; the old unversioned solve paths remain as
 // aliases for one release):
@@ -23,6 +24,8 @@
 //	POST   /v1/sessions/{id}/branches  create a what-if branch from a version
 //	POST   /v1/sessions/{id}/rollback  move a branch head back to an ancestor
 //	GET    /v1/sessions/{id}/diff      placement + metric delta between versions
+//	GET    /v1/debug/requests       recent request span trees (filters: status=, min-duration=, n=)
+//	GET    /v1/debug/requests/{id}  one request's span tree by correlation ID
 //	GET    /metrics               Prometheus text exposition format
 //	GET    /healthz, /readyz      liveness / readiness probes
 //	GET    /debug/pprof/          profiling (only with -pprof)
@@ -74,6 +77,8 @@ func main() {
 	incremental := flag.Bool("incremental", true, "transactional incremental candidate evaluation (false = full rebuild per candidate)")
 	sessionDir := flag.String("session-dir", "", "directory for persistent design sessions (empty = in-memory only)")
 	solutionCache := flag.Int("solution-cache", 0, "whole-solution LRU entries; identical requests coalesce and replay (0 = off)")
+	debugRequests := flag.Int("debug-requests", 0, "completed request span trees retained for /v1/debug/requests (0 = default 256, negative = off)")
+	slowRequestLog := flag.Duration("slow-request-log", 0, "log a one-line span breakdown of requests at least this slow (0 = off)")
 	flag.Parse()
 
 	mode := core.IncrementalOn
@@ -98,6 +103,8 @@ func main() {
 		Incremental:       mode,
 		SessionStore:      store,
 		SolutionCacheSize: *solutionCache,
+		DebugRequests:     *debugRequests,
+		SlowRequestLog:    *slowRequestLog,
 	})
 
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}

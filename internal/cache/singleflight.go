@@ -36,6 +36,23 @@ type Flight struct {
 	done      chan struct{}
 	val       any
 	err       error
+	note      string
+}
+
+// SetNote attaches an opaque annotation to the flight. The serve layer
+// stores the leader's flight-span ID here so followers can link their
+// spans to the flight that produced their result.
+func (f *Flight) SetNote(s string) {
+	f.g.mu.Lock()
+	f.note = s
+	f.g.mu.Unlock()
+}
+
+// Note returns the flight's annotation ("" if never set).
+func (f *Flight) Note() string {
+	f.g.mu.Lock()
+	defer f.g.mu.Unlock()
+	return f.note
 }
 
 // Join returns the flight for key, creating one (derived from base)

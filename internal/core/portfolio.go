@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"incdes/internal/obs"
@@ -78,9 +80,16 @@ func (s portfolioStrategy) Run(ctx context.Context, eng *Engine) (*Solution, err
 	defer cancelRace()
 	cancels := make([]context.CancelFunc, len(lanes))
 	laneCtxs := make([]context.Context, len(lanes))
+	// Lane spans are opened here, in the sequential pre-launch loop, so
+	// their IDs and order are deterministic regardless of how the lane
+	// goroutines interleave; only End (the duration) happens in the lane.
+	laneSpans := make([]*obs.Span, len(lanes))
 	for i := range lanes {
 		laneCtxs[i], cancels[i] = context.WithCancel(raceCtx)
 		defer cancels[i]()
+		_, laneSpans[i] = obs.StartSpan(ctx, "portfolio.lane")
+		laneSpans[i].SetAttr("lane", strconv.Itoa(i))
+		laneSpans[i].SetAttr("strategy", lanes[i].Name())
 	}
 
 	results := make([]laneResult, len(lanes))
@@ -123,7 +132,15 @@ func (s portfolioStrategy) Run(ctx context.Context, eng *Engine) (*Solution, err
 				}
 			}
 			laneEng := newEngine(eng.p, laneOpts)
-			sol, err := lane.Run(laneCtxs[i], laneEng)
+			var sol *Solution
+			var err error
+			runLane := func(ctx context.Context) { sol, err = lane.Run(ctx, laneEng) }
+			if eng.observer != nil {
+				pprof.Do(laneCtxs[i], pprof.Labels("incdes.lane", strconv.Itoa(i)), runLane)
+			} else {
+				runLane(laneCtxs[i])
+			}
+			laneSpans[i].End()
 			if sol != nil {
 				// Lanes bypass Solve, so fill the counters Solve would have.
 				sol.Evaluations = int(laneEng.Evaluations())

@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"time"
 
 	"incdes/internal/metrics"
@@ -170,8 +172,24 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 		reg.Counter(obs.CtrSolves).Inc()
 	}
 	eng.Trace(obs.TraceEvent{Kind: "solve.start", Strategy: opts.Strategy.Name()})
-	sol, err := opts.Strategy.Run(ctx, eng)
+	// The request-scoped "core.solve" span (free when the context carries
+	// no trace) plus pprof labels so CPU profiles segment by request and
+	// strategy; worker goroutines inherit the labels through ForEach.
+	runCtx, span := obs.StartSpan(ctx, "core.solve")
+	span.SetAttr("strategy", opts.Strategy.Name())
+	var sol *Solution
+	var err error
+	run := func(ctx context.Context) { sol, err = opts.Strategy.Run(ctx, eng) }
+	if opts.Observer != nil {
+		pprof.Do(runCtx, pprof.Labels(
+			"incdes.request", obs.RequestIDFrom(ctx),
+			"incdes.strategy", opts.Strategy.Name(),
+		), run)
+	} else {
+		run(runCtx)
+	}
 	if err != nil {
+		span.End()
 		return nil, err
 	}
 	sol.Elapsed = time.Since(start)
@@ -185,6 +203,8 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 		reg.Gauge(obs.GagTTPCapBytes).Set(int64(oc.CapacityBytes))
 		reg.Gauge(obs.GagTTPUsedSlots).Set(int64(oc.OccupiedSlots))
 	}
+	span.SetAttr("evaluations", strconv.Itoa(sol.Evaluations))
+	span.End()
 	eng.Trace(obs.TraceEvent{
 		Kind:        "solve.done",
 		Strategy:    sol.Strategy,

@@ -17,19 +17,26 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
-	"math"
 	"net/http"
 	"net/http/httptest"
-	"sort"
 	"sync"
 	"time"
 
 	"incdes/internal/model"
+	"incdes/internal/obs"
 	"incdes/internal/tm"
 )
 
-// SchemaVersion identifies the JSON layout of Report.
-const SchemaVersion = 1
+// SchemaVersion identifies the JSON layout of Report. Version 2 added
+// the serialized per-class latency histogram (ClassReport.Histogram);
+// the scalar percentile fields are unchanged, so Compare still diffs
+// against version-1 baselines.
+const SchemaVersion = 2
+
+// latencyBounds are the per-class histogram buckets, in milliseconds:
+// 10 per decade from 10µs to 10s. Denser than the serving catalog's
+// buckets because the harness derives its gate percentiles from them.
+func latencyBounds() []float64 { return obs.LogBounds(0.01, 10, 61) }
 
 // Traffic class names, as they appear in Report.Classes.
 const (
@@ -126,14 +133,17 @@ func (p Profile) withDefaults() Profile {
 	return p
 }
 
-// ClassReport aggregates one traffic class.
+// ClassReport aggregates one traffic class. The percentiles are read
+// from Histogram (linear interpolation within the bucket), so they are
+// approximations bounded by the bucket resolution; the mean is exact.
 type ClassReport struct {
-	Requests int     `json:"requests"`
-	Errors   int     `json:"errors"`
-	MeanMS   float64 `json:"mean_ms"`
-	P50MS    float64 `json:"p50_ms"`
-	P95MS    float64 `json:"p95_ms"`
-	P99MS    float64 `json:"p99_ms"`
+	Requests  int                    `json:"requests"`
+	Errors    int                    `json:"errors"`
+	MeanMS    float64                `json:"mean_ms"`
+	P50MS     float64                `json:"p50_ms"`
+	P95MS     float64                `json:"p95_ms"`
+	P99MS     float64                `json:"p99_ms"`
+	Histogram *obs.HistogramSnapshot `json:"histogram,omitempty"` // latency bins, milliseconds
 }
 
 // CacheReport tallies the X-Incdes-Cache headers observed across the
@@ -210,14 +220,19 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 		WallMS:        float64(time.Since(start)) / float64(time.Millisecond),
 		Classes:       map[string]ClassReport{},
 	}
-	byClass := map[string][]float64{}
+	byClass := map[string]*obs.Histogram{}
 	for _, s := range samples {
 		c := rep.Classes[s.class]
 		c.Requests++
 		if s.err != nil {
 			c.Errors++
 		} else {
-			byClass[s.class] = append(byClass[s.class], s.ms)
+			h := byClass[s.class]
+			if h == nil {
+				h = obs.NewHistogram(latencyBounds())
+				byClass[s.class] = h
+			}
+			h.Observe(s.ms)
 		}
 		rep.Classes[s.class] = c
 		switch s.cache {
@@ -229,17 +244,14 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 			rep.Cache.Inflight++
 		}
 	}
-	for name, lats := range byClass {
-		sort.Float64s(lats)
+	for name, h := range byClass {
+		hs := h.Snapshot()
 		c := rep.Classes[name]
-		var sum float64
-		for _, v := range lats {
-			sum += v
-		}
-		c.MeanMS = sum / float64(len(lats))
-		c.P50MS = percentile(lats, 0.50)
-		c.P95MS = percentile(lats, 0.95)
-		c.P99MS = percentile(lats, 0.99)
+		c.MeanMS = hs.Mean()
+		c.P50MS = hs.Quantile(0.50)
+		c.P95MS = hs.Quantile(0.95)
+		c.P99MS = hs.Quantile(0.99)
+		c.Histogram = &hs
 		rep.Classes[name] = c
 	}
 	if n := rep.Cache.Hit + rep.Cache.Miss + rep.Cache.Inflight; n > 0 {
@@ -247,21 +259,6 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 		rep.Cache.HitRate = float64(rep.Cache.Hit+rep.Cache.Inflight) / float64(n)
 	}
 	return rep, nil
-}
-
-// percentile reads the q-quantile from sorted (nearest-rank).
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(sorted) {
-		rank = len(sorted) - 1
-	}
-	return sorted[rank]
 }
 
 // workload holds the pre-built request bodies and session plumbing.

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// le semantics: a value equal to a bound lands in that bound's bucket.
+	for _, v := range []float64{0.5, 1} { // <= 1
+		h.Observe(v)
+	}
+	h.Observe(1.5) // <= 2
+	h.Observe(4)   // <= 4
+	h.Observe(9)   // +Inf
+	h.Observe(math.NaN())
+
+	s := h.Snapshot()
+	wantCounts := []int64{2, 1, 1, 1}
+	if len(s.Counts) != len(wantCounts) {
+		t.Fatalf("Counts len = %d, want %d", len(s.Counts), len(wantCounts))
+	}
+	for i, want := range wantCounts {
+		if s.Counts[i] != want {
+			t.Errorf("Counts[%d] = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 5 {
+		t.Errorf("Count = %d, want 5 (NaN must be dropped)", s.Count)
+	}
+	if want := 0.5 + 1 + 1.5 + 4 + 9; s.Sum != want {
+		t.Errorf("Sum = %v, want %v", s.Sum, want)
+	}
+}
+
+func TestHistogramNilSafety(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram reports observations")
+	}
+	if s := h.Snapshot(); s.Count != 0 || len(s.Bounds) != 0 {
+		t.Errorf("nil Snapshot = %+v", s)
+	}
+	if err := h.Merge(HistogramSnapshot{Count: 3, Counts: []int64{3}}); err != nil {
+		t.Errorf("nil Merge = %v", err)
+	}
+	// Zero t0 is the "not measuring" sentinel even on a live histogram.
+	live := NewHistogram(nil)
+	live.ObserveSince(time.Time{})
+	if live.Count() != 0 {
+		t.Error("ObserveSince(zero) recorded an observation")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram([]float64{1, 10})
+	b := NewHistogram([]float64{1, 10})
+	a.Observe(0.5)
+	a.Observe(5)
+	b.Observe(5)
+	b.Observe(50)
+	if err := a.Merge(b.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Snapshot()
+	for i, want := range []int64{1, 2, 1} {
+		if s.Counts[i] != want {
+			t.Errorf("merged Counts[%d] = %d, want %d", i, s.Counts[i], want)
+		}
+	}
+	if s.Count != 4 || s.Sum != 60.5 {
+		t.Errorf("merged Count/Sum = %d/%v, want 4/60.5", s.Count, s.Sum)
+	}
+	// Mismatched layouts are rejected, not silently mixed.
+	odd := NewHistogram([]float64{1, 2, 3})
+	if err := a.Merge(odd.Snapshot()); err != nil {
+		t.Fatalf("merging an EMPTY mismatched snapshot should be a no-op, got %v", err)
+	}
+	odd.Observe(1)
+	if err := a.Merge(odd.Snapshot()); err == nil {
+		t.Error("merging a mismatched non-empty snapshot did not error")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(0.5) // all in the first bucket
+	}
+	s := h.Snapshot()
+	// Interpolation within [0,1]: p50 at rank 50/100.
+	if got := s.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %v, want 0.5", got)
+	}
+	h.Observe(100) // one +Inf observation
+	s = h.Snapshot()
+	if got := s.Quantile(1); got != 4 {
+		t.Errorf("Quantile(1) with +Inf tail = %v, want highest finite bound 4", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty Quantile = %v, want 0", got)
+	}
+	if got := (HistogramSnapshot{}).Mean(); got != 0 {
+		t.Errorf("empty Mean = %v, want 0", got)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(LatencyBounds())
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(0.001 * float64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Errorf("Count = %d, want %d", h.Count(), workers*per)
+	}
+	var want float64
+	for w := 0; w < workers; w++ {
+		want += 0.001 * float64(w+1) * per
+	}
+	if math.Abs(h.Sum()-want) > 1e-6 {
+		t.Errorf("Sum = %v, want %v", h.Sum(), want)
+	}
+	var bucketTotal int64
+	for _, n := range h.Snapshot().Counts {
+		bucketTotal += n
+	}
+	if bucketTotal != workers*per {
+		t.Errorf("bucket total = %d, want %d", bucketTotal, workers*per)
+	}
+}
+
+func TestLogBounds(t *testing.T) {
+	b := LogBounds(0.01, 10, 21)
+	if len(b) != 21 {
+		t.Fatalf("len = %d", len(b))
+	}
+	if b[0] != 0.01 {
+		t.Errorf("b[0] = %v", b[0])
+	}
+	// Exactly perDecade steps span one factor of ten.
+	if math.Abs(b[10]/b[0]-10) > 1e-9 {
+		t.Errorf("b[10]/b[0] = %v, want 10", b[10]/b[0])
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("bounds not ascending at %d: %v <= %v", i, b[i], b[i-1])
+		}
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram(HstSolveSeconds).Observe(0.02)
+	if r.Histogram(HstSolveSeconds).Count() != 1 {
+		t.Error("registry did not return the same histogram twice")
+	}
+	snap := r.Snapshot()
+	hs, ok := snap.Histograms[HstSolveSeconds]
+	if !ok {
+		t.Fatal("snapshot missing histogram")
+	}
+	if hs.Count != 1 || hs.Sum != 0.02 {
+		t.Errorf("snapshot histogram = %+v", hs)
+	}
+	var nilReg *Registry
+	if nilReg.Histogram(HstSolveSeconds) != nil {
+		t.Error("nil registry returned a non-nil histogram")
+	}
+}

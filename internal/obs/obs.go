@@ -107,6 +107,14 @@ const (
 	// Session-commit solution cache (internal/session).
 	CtrSessSolveCacheHits   = "session.solve_cache_hits"   // commits served from the solution cache
 	CtrSessSolveCacheStores = "session.solve_cache_stores" // commit solutions stored in the cache
+
+	// Serving-stack latency histograms (internal/serve). All observe
+	// seconds over the LatencyBounds bucket grid.
+	HstRequestSeconds     = "serve.request_seconds"      // histogram: full HTTP request latency
+	HstSolveSeconds       = "serve.solve_seconds"        // histogram: core.Solve latency inside a job
+	HstQueueWaitSeconds   = "serve.queue_wait_seconds"   // histogram: admission-queue wait before a slot
+	HstCommitSeconds      = "serve.commit_seconds"       // histogram: session commit latency inside a job
+	HstCacheLookupSeconds = "serve.cache_lookup_seconds" // histogram: solution-cache lookup latency
 )
 
 // InstrumentKind classifies a catalog instrument.
@@ -114,9 +122,10 @@ type InstrumentKind string
 
 // The instrument kinds.
 const (
-	KindCounter InstrumentKind = "counter"
-	KindGauge   InstrumentKind = "gauge"
-	KindTimer   InstrumentKind = "timer"
+	KindCounter   InstrumentKind = "counter"
+	KindGauge     InstrumentKind = "gauge"
+	KindTimer     InstrumentKind = "timer"
+	KindHistogram InstrumentKind = "histogram"
 )
 
 // Instrument describes one catalog entry: its canonical name, kind, and
@@ -183,6 +192,11 @@ var catalog = []Instrument{
 	{GagSessLive, KindGauge, "design sessions resident in memory"},
 	{CtrSessSolveCacheHits, KindCounter, "session commits served from the solution cache"},
 	{CtrSessSolveCacheStores, KindCounter, "session commit solutions stored in the cache"},
+	{HstRequestSeconds, KindHistogram, "full HTTP request latency in seconds"},
+	{HstSolveSeconds, KindHistogram, "core solve latency in seconds"},
+	{HstQueueWaitSeconds, KindHistogram, "admission-queue wait in seconds"},
+	{HstCommitSeconds, KindHistogram, "session commit latency in seconds"},
+	{HstCacheLookupSeconds, KindHistogram, "solution-cache lookup latency in seconds"},
 }
 
 // Catalog returns the declared instrument set in documentation order.
@@ -271,18 +285,20 @@ func (t *Timer) Total() time.Duration {
 // "observability off" registry: every lookup returns a nil instrument.
 // Safe for concurrent use.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -334,6 +350,23 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns the named histogram, creating it over the default
+// LatencyBounds if needed. A nil registry returns a nil (no-op)
+// histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(nil)
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // SnapshotSchemaVersion identifies the JSON layout of Snapshot. Bump it
 // when a field changes meaning or shape, so stats files written by
 // different revisions of the tools can be told apart when diffing.
@@ -364,11 +397,12 @@ func NewRunMeta(start time.Time, seed int64) *RunMeta {
 // Timers are exported in nanoseconds so the document stays pure JSON
 // numbers.
 type Snapshot struct {
-	SchemaVersion int              `json:"schema_version"`
-	Meta          *RunMeta         `json:"meta,omitempty"`
-	Counters      map[string]int64 `json:"counters"`
-	Gauges        map[string]int64 `json:"gauges,omitempty"`
-	TimersNS      map[string]int64 `json:"timers_ns,omitempty"`
+	SchemaVersion int                          `json:"schema_version"`
+	Meta          *RunMeta                     `json:"meta,omitempty"`
+	Counters      map[string]int64             `json:"counters"`
+	Gauges        map[string]int64             `json:"gauges,omitempty"`
+	TimersNS      map[string]int64             `json:"timers_ns,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
 }
 
 // Snapshot exports the current value of every instrument. A nil
@@ -395,6 +429,12 @@ func (r *Registry) Snapshot() Snapshot {
 		s.TimersNS = make(map[string]int64, len(r.timers))
 		for name, t := range r.timers {
 			s.TimersNS[name] = int64(t.Total())
+		}
+	}
+	if len(r.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(r.histograms))
+		for name, h := range r.histograms {
+			s.Histograms[name] = h.Snapshot()
 		}
 	}
 	return s

@@ -1,0 +1,325 @@
+package promtext
+
+// Lint is a small exposition-format validator: the CI metrics-lint step
+// scrapes /v1/metrics under load and fails the build when the document
+// is malformed. It checks exactly what a scraper depends on — every
+// sample's metric has HELP and TYPE, no duplicate series, and histogram
+// triples are internally consistent (cumulative buckets monotone, a
+// `+Inf` bucket present and equal to `_count`).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// histSeries accumulates one histogram's samples per base label set.
+type histSeries struct {
+	buckets []bucket // in document order
+	hasInf  bool
+	infVal  float64
+	sum     bool
+	count   bool
+	countV  float64
+}
+
+type bucket struct {
+	le  string
+	val float64
+}
+
+// Lint validates a Prometheus 0.0.4 text exposition and returns one
+// message per problem found (nil when clean).
+func Lint(r io.Reader) []string {
+	var problems []string
+	helpFor := map[string]bool{}
+	typeFor := map[string]string{}
+	seen := map[string]int{} // full series (name+labels) -> line
+	// base metric -> base label set -> histogram accumulation
+	hists := map[string]map[string]*histSeries{}
+	sampleBase := map[string]bool{} // base metric names that had samples
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), " \t")
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "#") {
+			fields := strings.SplitN(text, " ", 4)
+			if len(fields) >= 3 {
+				switch fields[1] {
+				case "HELP":
+					helpFor[fields[2]] = true
+				case "TYPE":
+					if len(fields) >= 4 {
+						if prev, dup := typeFor[fields[2]]; dup {
+							problems = append(problems, fmt.Sprintf("line %d: duplicate TYPE for %s (already %s)", line, fields[2], prev))
+						}
+						typeFor[fields[2]] = strings.TrimSpace(fields[3])
+					}
+				}
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(text)
+		if err != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", line, err))
+			continue
+		}
+		series := name + canonLabels(labels)
+		if prev, dup := seen[series]; dup {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate series %s (first at line %d)", line, series, prev))
+		}
+		seen[series] = line
+
+		base, part := histBase(name, typeFor)
+		sampleBase[base] = true
+		if part == "" {
+			continue
+		}
+		byLabels, ok := hists[base]
+		if !ok {
+			byLabels = map[string]*histSeries{}
+			hists[base] = byLabels
+		}
+		le, rest := splitLe(labels)
+		key := canonLabels(rest)
+		hs, ok := byLabels[key]
+		if !ok {
+			hs = &histSeries{}
+			byLabels[key] = hs
+		}
+		switch part {
+		case "_bucket":
+			if le == "" {
+				problems = append(problems, fmt.Sprintf("line %d: %s_bucket sample without le label", line, base))
+			} else if le == "+Inf" {
+				hs.hasInf = true
+				hs.infVal = value
+			} else {
+				hs.buckets = append(hs.buckets, bucket{le: le, val: value})
+			}
+		case "_sum":
+			hs.sum = true
+		case "_count":
+			hs.count = true
+			hs.countV = value
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return append(problems, fmt.Sprintf("reading exposition: %v", err))
+	}
+
+	// Every sampled metric needs its HELP and TYPE header.
+	bases := make([]string, 0, len(sampleBase))
+	for b := range sampleBase {
+		bases = append(bases, b)
+	}
+	sort.Strings(bases)
+	for _, b := range bases {
+		if !helpFor[b] {
+			problems = append(problems, fmt.Sprintf("metric %s: missing HELP", b))
+		}
+		if _, ok := typeFor[b]; !ok {
+			problems = append(problems, fmt.Sprintf("metric %s: missing TYPE", b))
+		}
+	}
+
+	// Histogram triples: monotone cumulative buckets, +Inf == _count,
+	// _sum/_count present.
+	hbases := make([]string, 0, len(hists))
+	for b := range hists {
+		hbases = append(hbases, b)
+	}
+	sort.Strings(hbases)
+	for _, b := range hbases {
+		keys := make([]string, 0, len(hists[b]))
+		for k := range hists[b] {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			hs := hists[b][k]
+			id := b + k
+			prevLe := -1.0
+			prev := -1.0
+			for _, bk := range hs.buckets {
+				leV, err := strconv.ParseFloat(bk.le, 64)
+				if err != nil {
+					problems = append(problems, fmt.Sprintf("histogram %s: unparseable le %q", id, bk.le))
+					continue
+				}
+				if leV <= prevLe {
+					problems = append(problems, fmt.Sprintf("histogram %s: le %q out of order", id, bk.le))
+				}
+				if bk.val < prev {
+					problems = append(problems, fmt.Sprintf("histogram %s: bucket le=%q count %g below previous %g", id, bk.le, bk.val, prev))
+				}
+				prevLe, prev = leV, bk.val
+			}
+			switch {
+			case !hs.hasInf:
+				problems = append(problems, fmt.Sprintf("histogram %s: missing +Inf bucket", id))
+			case hs.infVal < prev:
+				problems = append(problems, fmt.Sprintf("histogram %s: +Inf bucket %g below previous %g", id, hs.infVal, prev))
+			}
+			if !hs.sum {
+				problems = append(problems, fmt.Sprintf("histogram %s: missing _sum", id))
+			}
+			if !hs.count {
+				problems = append(problems, fmt.Sprintf("histogram %s: missing _count", id))
+			} else if hs.hasInf && hs.countV != hs.infVal {
+				problems = append(problems, fmt.Sprintf("histogram %s: _count %g != +Inf bucket %g", id, hs.countV, hs.infVal))
+			}
+		}
+	}
+	return problems
+}
+
+// histBase maps a sample name onto (base metric, histogram part). A
+// `_bucket`/`_sum`/`_count` suffix counts as a histogram part only when
+// the stripped base was declared `# TYPE base histogram` — a counter
+// named *_count stays itself.
+func histBase(name string, typeFor map[string]string) (base, part string) {
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suffix) {
+			b := strings.TrimSuffix(name, suffix)
+			if typeFor[b] == "histogram" {
+				return b, suffix
+			}
+		}
+	}
+	return name, ""
+}
+
+// parseSample splits one sample line into name, raw label pairs and
+// value. Label splitting is quote-aware so escaped quotes and commas
+// inside label values survive.
+func parseSample(line string) (name string, labels [][2]string, value float64, err error) {
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i >= 0 && rest[i] == '{' {
+		name = rest[:i]
+		end := closingBrace(rest, i)
+		if end < 0 {
+			return "", nil, 0, fmt.Errorf("unterminated label set in %q", line)
+		}
+		labels, err = parseLabels(rest[i+1 : end])
+		if err != nil {
+			return "", nil, 0, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		fields := strings.Fields(rest)
+		if len(fields) < 2 {
+			return "", nil, 0, fmt.Errorf("malformed sample %q", line)
+		}
+		name = fields[0]
+		rest = fields[1]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return "", nil, 0, fmt.Errorf("sample %q has no value", line)
+	}
+	value, err = strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return "", nil, 0, fmt.Errorf("unparseable value %q", fields[0])
+	}
+	if name == "" {
+		return "", nil, 0, fmt.Errorf("sample %q has no metric name", line)
+	}
+	return name, labels, value, nil
+}
+
+// closingBrace finds the index of the '}' matching the '{' at open,
+// skipping over quoted label values; -1 if unterminated.
+func closingBrace(s string, open int) int {
+	inQuote := false
+	for i := open + 1; i < len(s); i++ {
+		switch {
+		case inQuote && s[i] == '\\':
+			i++
+		case s[i] == '"':
+			inQuote = !inQuote
+		case !inQuote && s[i] == '}':
+			return i
+		}
+	}
+	return -1
+}
+
+// parseLabels splits `k="v",k2="v2"` quote-aware.
+func parseLabels(s string) ([][2]string, error) {
+	var out [][2]string
+	for len(s) > 0 {
+		s = strings.TrimLeft(s, ", ")
+		if s == "" {
+			break
+		}
+		eq := strings.IndexByte(s, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("label pair %q has no '='", s)
+		}
+		key := strings.TrimSpace(s[:eq])
+		s = s[eq+1:]
+		if len(s) == 0 || s[0] != '"' {
+			return nil, fmt.Errorf("label %q value is not quoted", key)
+		}
+		i := 1
+		for ; i < len(s); i++ {
+			if s[i] == '\\' {
+				i++
+				continue
+			}
+			if s[i] == '"' {
+				break
+			}
+		}
+		if i >= len(s) {
+			return nil, fmt.Errorf("label %q value unterminated", key)
+		}
+		out = append(out, [2]string{key, s[1:i]})
+		s = s[i+1:]
+	}
+	return out, nil
+}
+
+// canonLabels renders label pairs sorted by key so series identity is
+// order-independent.
+func canonLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	sorted := append([][2]string(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i][0] < sorted[j][0] })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, kv := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s=%q`, kv[0], kv[1])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// splitLe extracts the `le` label from a pair list, returning its value
+// and the remaining pairs.
+func splitLe(labels [][2]string) (le string, rest [][2]string) {
+	for _, kv := range labels {
+		if kv[0] == "le" {
+			le = kv[1]
+			continue
+		}
+		rest = append(rest, kv)
+	}
+	return le, rest
+}

@@ -32,7 +32,8 @@ const DefaultNamespace = "incdes"
 // MetricName converts a dotted instrument name into the exported
 // Prometheus metric name: namespace + sanitized instrument + the kind's
 // conventional suffix (`_total` for counters, `_seconds_total` for
-// timers, none for gauges).
+// timers, none for gauges and histograms — histogram series add their
+// own `_bucket`/`_sum`/`_count` suffixes per sample).
 func MetricName(namespace, instrument string, kind obs.InstrumentKind) string {
 	name := sanitize(instrument)
 	if namespace != "" {
@@ -106,12 +107,20 @@ func formatValue(v float64) string {
 }
 
 type sample struct {
+	suffix string // per-sample name suffix: "_bucket"/"_sum"/"_count" for histograms
 	labels string
 	value  float64
+	// group/order pin the exposition order: histogram series must come
+	// out as buckets in ascending le, then _sum, then _count, per label
+	// set — lexical label sorting would interleave "10" before "2.5".
+	// Scalar samples use group == labels and order 0, which degenerates
+	// to the plain sorted-by-labels order.
+	group string
+	order int
 }
 
 type metric struct {
-	typ     string // "counter" or "gauge"
+	typ     string // "counter", "gauge" or "histogram"
 	help    string
 	samples []sample
 }
@@ -153,7 +162,49 @@ func (c *Collection) addSample(instrument string, kind obs.InstrumentKind, label
 		typ = "counter"
 	}
 	m := c.metricFor(name, typ, help)
-	m.samples = append(m.samples, sample{labels: renderLabels(labels), value: v})
+	l := renderLabels(labels)
+	m.samples = append(m.samples, sample{labels: l, value: v, group: l})
+}
+
+// formatLe renders a bucket boundary as an `le` label value in shortest
+// round-trip form.
+func formatLe(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// AddHistogram records one histogram snapshot under the given label set
+// as the conventional series triple: cumulative `_bucket` samples per
+// boundary plus `+Inf`, then `_sum` and `_count`. Empty snapshots (no
+// bucket layout) are skipped.
+func (c *Collection) AddHistogram(instrument string, labels map[string]string, hs obs.HistogramSnapshot) {
+	if len(hs.Bounds) == 0 || len(hs.Counts) != len(hs.Bounds)+1 {
+		return
+	}
+	name := MetricName(c.namespace, instrument, obs.KindHistogram)
+	help := "instrument " + instrument
+	if ins, ok := c.help[instrument]; ok {
+		help = ins.Help
+	}
+	m := c.metricFor(name, "histogram", help)
+	group := renderLabels(labels)
+	withLe := make(map[string]string, len(labels)+1)
+	for k, v := range labels {
+		withLe[k] = v
+	}
+	var cum int64
+	for i, b := range hs.Bounds {
+		cum += hs.Counts[i]
+		withLe["le"] = formatLe(b)
+		m.samples = append(m.samples, sample{
+			suffix: "_bucket", labels: renderLabels(withLe), value: float64(cum), group: group, order: i,
+		})
+	}
+	withLe["le"] = "+Inf"
+	m.samples = append(m.samples,
+		sample{suffix: "_bucket", labels: renderLabels(withLe), value: float64(hs.Count), group: group, order: len(hs.Bounds)},
+		sample{suffix: "_sum", labels: group, value: hs.Sum, group: group, order: len(hs.Bounds) + 1},
+		sample{suffix: "_count", labels: group, value: float64(hs.Count), group: group, order: len(hs.Bounds) + 2},
+	)
 }
 
 // Add records every instrument of one snapshot under the given label
@@ -168,6 +219,9 @@ func (c *Collection) Add(labels map[string]string, s obs.Snapshot) {
 	for name, ns := range s.TimersNS {
 		c.addSample(name, obs.KindTimer, labels, float64(ns)/1e9)
 	}
+	for name, hs := range s.Histograms {
+		c.AddHistogram(name, labels, hs)
+	}
 }
 
 // AddGauge records one ad-hoc gauge sample under the full metric name
@@ -175,7 +229,8 @@ func (c *Collection) Add(labels map[string]string, s obs.Snapshot) {
 func (c *Collection) AddGauge(instrument, help string, labels map[string]string, v float64) {
 	name := MetricName(c.namespace, instrument, obs.KindGauge)
 	m := c.metricFor(name, "gauge", help)
-	m.samples = append(m.samples, sample{labels: renderLabels(labels), value: v})
+	l := renderLabels(labels)
+	m.samples = append(m.samples, sample{labels: l, value: v, group: l})
 }
 
 // AddCounter records one ad-hoc counter sample; the exported name gains
@@ -183,7 +238,8 @@ func (c *Collection) AddGauge(instrument, help string, labels map[string]string,
 func (c *Collection) AddCounter(instrument, help string, labels map[string]string, v float64) {
 	name := MetricName(c.namespace, instrument, obs.KindCounter)
 	m := c.metricFor(name, "counter", help)
-	m.samples = append(m.samples, sample{labels: renderLabels(labels), value: v})
+	l := renderLabels(labels)
+	m.samples = append(m.samples, sample{labels: l, value: v, group: l})
 }
 
 // Write renders the collection: metrics sorted by exported name, one
@@ -199,9 +255,15 @@ func (c *Collection) Write(w io.Writer) error {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, m.help, name, m.typ); err != nil {
 			return err
 		}
-		sort.Slice(m.samples, func(i, j int) bool { return m.samples[i].labels < m.samples[j].labels })
+		sort.Slice(m.samples, func(i, j int) bool {
+			a, b := m.samples[i], m.samples[j]
+			if a.group != b.group {
+				return a.group < b.group
+			}
+			return a.order < b.order
+		})
 		for _, s := range m.samples {
-			if _, err := fmt.Fprintf(w, "%s%s %s\n", name, s.labels, formatValue(s.value)); err != nil {
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n", name, s.suffix, s.labels, formatValue(s.value)); err != nil {
 				return err
 			}
 		}

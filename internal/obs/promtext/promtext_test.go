@@ -151,6 +151,8 @@ func TestFullCatalogRenders(t *testing.T) {
 			r.Gauge(ins.Name).Set(1)
 		case obs.KindTimer:
 			r.Timer(ins.Name).Observe(time.Millisecond)
+		case obs.KindHistogram:
+			r.Histogram(ins.Name).Observe(0.001)
 		}
 	}
 	var buf bytes.Buffer
@@ -159,7 +161,18 @@ func TestFullCatalogRenders(t *testing.T) {
 	}
 	names := parseExposition(t, buf.String())
 	for _, ins := range obs.Catalog() {
-		if want := MetricName(DefaultNamespace, ins.Name, ins.Kind); !names[want] {
+		want := MetricName(DefaultNamespace, ins.Name, ins.Kind)
+		if ins.Kind == obs.KindHistogram {
+			// A histogram's base name appears only in HELP/TYPE; the
+			// samples carry the _bucket/_sum/_count suffixes.
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if !names[want+sfx] {
+					t.Errorf("catalog histogram %q not rendered as %q", ins.Name, want+sfx)
+				}
+			}
+			continue
+		}
+		if !names[want] {
 			t.Errorf("catalog instrument %q not rendered as %q", ins.Name, want)
 		}
 	}

@@ -66,10 +66,10 @@ func (p SolveParams) cacheSpec() cache.Spec {
 // registered (bypassing the queue — a hit does no solver work) so the
 // status and SSE endpoints behave exactly as for a solved job, the
 // leader's trace is replayed into it, and it completes immediately.
-func (s *Server) serveHit(w http.ResponseWriter, ent *solutionEntry, params SolveParams, tag string) {
+func (s *Server) serveHit(w http.ResponseWriter, r *http.Request, ent *solutionEntry, params SolveParams, tag string) {
 	w.Header().Set(cacheHeader, "hit")
 	s.global.Counter(obs.CtrSolveCacheHits).Inc()
-	j := s.register(tag)
+	j := s.register(tag, obs.TraceFrom(r.Context()))
 	for _, ev := range ent.events {
 		j.buf.Trace(ev)
 	}
@@ -89,15 +89,23 @@ func (s *Server) serveHit(w http.ResponseWriter, ent *solutionEntry, params Solv
 // context.
 func (s *Server) leaderWork(f *cache.Flight, j *job, p *core.Problem, frozen int, params SolveParams, key string) func(context.Context) (*SolutionDoc, error) {
 	return func(ctx context.Context) (*SolutionDoc, error) {
+		// The flight span brackets the coalesced solve in the leader's
+		// trace; its ID is published on the flight so follower spans can
+		// reference the leader's flight (single-flight linkage).
+		fctx, fspan := obs.StartSpan(ctx, "cache.flight")
+		f.SetNote(fspan.ID())
 		solve := s.solveWork(j, p, frozen, params)
 		go func() {
-			doc, err := solve(f.Context())
+			// The solve must run under the flight's context (so it survives
+			// the leader leaving) but record into the leader's trace.
+			doc, err := solve(obs.CopyTrace(f.Context(), fctx))
 			if err == nil && doc != nil && !doc.Interrupted {
 				s.storeSolution(key, doc, j.buf.snapshot())
 			}
 			f.Complete(&flightResult{doc: doc, events: j.buf.snapshot()}, err)
 		}()
 		val, err := s.awaitFlight(ctx, f)
+		fspan.End()
 		if err != nil {
 			return nil, err
 		}
@@ -128,12 +136,18 @@ func (s *Server) runFollower(ctx context.Context, j *job, requested time.Duratio
 		defer tcancel()
 	}
 	j.setStatus(StatusRunning)
+	// The follower's whole wait is one span; on success it links to the
+	// leader's flight span via the ID the leader published.
+	_, fspan := obs.StartSpan(ctx, "cache.follow")
 	val, err := s.awaitFlight(ctx, f)
 	if err != nil {
+		fspan.End()
 		j.finish(nil, err)
 		s.finalize(j)
 		return
 	}
+	fspan.SetAttr("leader_span", f.Note())
+	fspan.End()
 	for _, ev := range val.events {
 		j.buf.Trace(ev)
 	}

@@ -219,6 +219,7 @@ type job struct {
 	strategy string // strategy tag for aggregation, known at submit time
 	reg      *obs.Registry
 	buf      *eventBuffer
+	trace    *obs.RequestTrace // submitting request's span trace (may be nil)
 	cancel   context.CancelFunc
 
 	mu     sync.Mutex

@@ -46,6 +46,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"net/http/pprof"
 	"runtime"
@@ -96,6 +97,15 @@ type Config struct {
 	// in-memory store (sessions die with the process); cmd/incmapd wires
 	// a session.DiskStore here for durable sessions.
 	SessionStore session.Store
+	// DebugRequests is how many completed request span trees the
+	// /v1/debug/requests ring retains (default 256; negative disables
+	// the ring — the endpoints then always report empty/404).
+	DebugRequests int
+	// SlowRequestLog, when positive, makes every request slower than
+	// this emit a one-line span breakdown to SlowLogger.
+	SlowRequestLog time.Duration
+	// SlowLogger receives slow-request lines (nil = log.Default()).
+	SlowLogger *log.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -111,15 +121,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.DebugRequests == 0 {
+		c.DebugRequests = 256
+	}
 	return c
 }
 
 // Server is the incmapd HTTP service. Create with New, serve its
 // Handler, Close on shutdown.
 type Server struct {
-	cfg   Config
-	start time.Time
-	mux   *http.ServeMux
+	cfg     Config
+	start   time.Time
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in the request middleware
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -128,6 +142,10 @@ type Server struct {
 	sem     chan struct{} // MaxConcurrent slots
 	running atomic.Int64
 	queued  atomic.Int64
+
+	// Request-scoped observability (debug.go).
+	reqSeq   atomic.Int64 // generated correlation IDs
+	recorder *obs.SpanRecorder
 
 	// Whole-solution cache + single-flight dedup (nil when disabled).
 	solutions *cache.LRU
@@ -166,16 +184,8 @@ func New(cfg Config) *Server {
 		s.solutions = cache.NewLRU(cfg.SolutionCacheSize)
 		s.flights = cache.NewGroup()
 	}
-	for _, ins := range obs.Catalog() {
-		switch ins.Kind {
-		case obs.KindCounter:
-			s.global.Counter(ins.Name)
-		case obs.KindGauge:
-			s.global.Gauge(ins.Name)
-		case obs.KindTimer:
-			s.global.Timer(ins.Name)
-		}
-	}
+	s.recorder = obs.NewSpanRecorder(cfg.DebugRequests)
+	seedCatalog(s.global)
 	// Session manager: session.* instruments land in the global aggregate
 	// registry (the catalog pre-seed above already exposes them as zeros).
 	store := cfg.SessionStore
@@ -203,6 +213,9 @@ func New(cfg Config) *Server {
 	s.handleV1("GET /metrics", s.handleMetrics)
 	s.handleV1("GET /healthz", s.handleHealthz)
 	s.handleV1("GET /readyz", s.handleReadyz)
+	// Debug surface: /v1-only, like every endpoint born after versioning.
+	s.mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	s.mux.HandleFunc("GET /v1/debug/requests/{id}", s.handleDebugRequest)
 	if cfg.EnablePprof {
 		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -210,8 +223,27 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	s.handler = s.instrument(s.mux)
 	s.ready.Store(true)
 	return s
+}
+
+// seedCatalog materializes every declared instrument in a registry so
+// exposition shows the full catalog (as zeros) regardless of what has
+// run.
+func seedCatalog(r *obs.Registry) {
+	for _, ins := range obs.Catalog() {
+		switch ins.Kind {
+		case obs.KindCounter:
+			r.Counter(ins.Name)
+		case obs.KindGauge:
+			r.Gauge(ins.Name)
+		case obs.KindTimer:
+			r.Timer(ins.Name)
+		case obs.KindHistogram:
+			r.Histogram(ins.Name)
+		}
+	}
 }
 
 // handleV1 registers a handler under the /v1 prefix and mirrors it on
@@ -226,8 +258,10 @@ func (s *Server) handleV1(pattern string, h http.HandlerFunc) {
 	s.mux.HandleFunc(pattern, h)
 }
 
-// Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the service's HTTP handler: the router wrapped in
+// the request-observability middleware (correlation IDs, span traces,
+// latency histogram, slow-request log).
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Close drains the server: readiness flips to 503 and every running
 // job's context is cancelled (the engine returns best-so-far designs).
@@ -246,6 +280,11 @@ type JobStatusDoc struct {
 	Commit   *CommitInfo   `json:"commit,omitempty"`
 	Solution *SolutionDoc  `json:"solution,omitempty"`
 	Stats    *obs.Snapshot `json:"stats,omitempty"`
+	// RequestID and Spans tie a (typically detached) job back to the
+	// request trace that submitted it: the correlation ID plus a flat
+	// per-span duration digest once the job is terminal.
+	RequestID string        `json:"request_id,omitempty"`
+	Spans     []spanSummary `json:"spans,omitempty"`
 }
 
 func (s *Server) statusDoc(j *job) *JobStatusDoc {
@@ -254,9 +293,11 @@ func (s *Server) statusDoc(j *job) *JobStatusDoc {
 	if err != nil {
 		out.Error = err.Error()
 	}
+	out.RequestID = j.trace.ID()
 	if status == StatusDone || status == StatusInterrupted {
 		snap := j.reg.Snapshot()
 		out.Stats = &snap
+		out.Spans = spanSummaries(j.trace)
 	}
 	return out
 }
@@ -383,32 +424,34 @@ func parseSolveParams(r *http.Request) (SolveParams, error) {
 	return p, nil
 }
 
-// submit registers a new job if the queue has room.
-func (s *Server) submit(strategyTag string) (*job, error) {
+// submit registers a new job if the queue has room, bound to the
+// submitting request's span trace (nil is fine).
+func (s *Server) submit(strategyTag string, rt *obs.RequestTrace) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if int(s.queued.Load()) >= s.cfg.QueueDepth {
 		return nil, fmt.Errorf("queue full: %d solves waiting", s.queued.Load())
 	}
 	s.queued.Add(1)
-	return s.registerLocked(strategyTag), nil
+	return s.registerLocked(strategyTag, rt), nil
 }
 
 // register creates a job outside the queue accounting: cache hits do no
 // solver work, so they bypass admission control entirely.
-func (s *Server) register(strategyTag string) *job {
+func (s *Server) register(strategyTag string, rt *obs.RequestTrace) *job {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.registerLocked(strategyTag)
+	return s.registerLocked(strategyTag, rt)
 }
 
-func (s *Server) registerLocked(strategyTag string) *job {
+func (s *Server) registerLocked(strategyTag string, rt *obs.RequestTrace) *job {
 	s.nextID++
 	j := &job{
 		id:       "j" + strconv.FormatInt(s.nextID, 10),
 		strategy: strategyTag,
 		reg:      obs.NewRegistry(),
 		buf:      &eventBuffer{},
+		trace:    rt,
 		status:   StatusQueued,
 		done:     make(chan struct{}),
 	}
@@ -440,15 +483,22 @@ func (s *Server) run(ctx context.Context, j *job, requested time.Duration, work 
 	}
 
 	// Wait for a slot; cancellation while queued fails the job without
-	// burning one.
+	// burning one. The wait is a span of its own plus the queue-wait
+	// histogram — the admission latency a client actually feels.
+	qstart := time.Now()
+	_, qspan := obs.StartSpan(ctx, "queue.wait")
 	select {
 	case s.sem <- struct{}{}:
 	case <-ctx.Done():
+		qspan.End()
+		j.reg.Histogram(obs.HstQueueWaitSeconds).ObserveSince(qstart)
 		s.queued.Add(-1)
 		j.finish(nil, fmt.Errorf("cancelled while queued: %w", ctx.Err()))
 		s.finalize(j)
 		return
 	}
+	qspan.End()
+	j.reg.Histogram(obs.HstQueueWaitSeconds).ObserveSince(qstart)
 	s.queued.Add(-1)
 	s.running.Add(1)
 	defer func() {
@@ -481,12 +531,14 @@ func (s *Server) solveWork(j *job, p *core.Problem, frozen int, params SolvePara
 		if frozen > 0 {
 			j.reg.Counter(obs.CtrEvaluations).Add(int64(frozen))
 		}
+		t0 := time.Now()
 		sol, err := core.Solve(ctx, p, core.Options{
 			Strategy:    strat,
 			Parallelism: s.parallelism(params),
 			Incremental: s.cfg.Incremental,
 			Observer:    &obs.Observer{Stats: j.reg, Tracer: j.buf},
 		})
+		j.reg.Histogram(obs.HstSolveSeconds).ObserveSince(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -535,6 +587,11 @@ func mergeSnapshot(dst *obs.Registry, snap obs.Snapshot) {
 	for name, ns := range snap.TimersNS {
 		dst.Timer(name).Observe(time.Duration(ns))
 	}
+	for name, hs := range snap.Histograms {
+		// Merge only rejects mismatched bucket layouts, which cannot
+		// happen between registries that both use the catalog bounds.
+		dst.Histogram(name).Merge(hs)
+	}
 }
 
 func (s *Server) job(id string) *job {
@@ -571,6 +628,10 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	useCache := s.solutions != nil && !params.NoCache
 	var key string
 	if useCache {
+		// The lookup is a leaf span plus the cache-lookup histogram:
+		// fingerprinting dominates it, and a hit is the whole request.
+		lstart := time.Now()
+		_, lspan := obs.StartSpan(r.Context(), "cache.lookup")
 		key = cache.Fingerprint(cache.Request{
 			System:   sys,
 			App:      params.App,
@@ -578,12 +639,20 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			Weights:  p.Weights,
 			Strategy: params.cacheSpec(),
 		})
-		if v, ok := s.solutions.Get(key); ok {
-			s.serveHit(w, v.(*solutionEntry), params, strat.Name())
+		v, ok := s.solutions.Get(key)
+		if ok {
+			lspan.SetAttr("outcome", "hit")
+		} else {
+			lspan.SetAttr("outcome", "miss")
+		}
+		lspan.End()
+		s.global.Histogram(obs.HstCacheLookupSeconds).ObserveSince(lstart)
+		if ok {
+			s.serveHit(w, r, v.(*solutionEntry), params, strat.Name())
 			return
 		}
 	}
-	j, err := s.submit(strat.Name())
+	j, err := s.submit(strat.Name(), obs.TraceFrom(r.Context()))
 	if err != nil {
 		writeRetryError(w, http.StatusTooManyRequests, ErrCodeQueueFull, time.Second, "%v", err)
 		return
@@ -599,7 +668,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set(cacheHeader, "inflight")
 			s.global.Counter(obs.CtrSolveCacheInflight).Inc()
 			if params.Detach {
-				go s.runFollower(s.baseCtx, j, params.Timeout, f)
+				// CopyTrace: the detached job runs under the server's
+				// lifetime but keeps recording into the request's trace.
+				go s.runFollower(obs.CopyTrace(s.baseCtx, r.Context()), j, params.Timeout, f)
 				w.Header().Set("Location", "/v1/solve/"+j.id)
 				writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
 				return
@@ -622,8 +693,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if params.Detach {
 		// Detached jobs belong to the server, not the request: the job
 		// outlives the connection and is cancelled only by DELETE,
-		// timeout, or shutdown.
-		go s.run(s.baseCtx, j, params.Timeout, work)
+		// timeout, or shutdown. CopyTrace keeps the request's span trace
+		// (but not its cancellation) attached to the job.
+		go s.run(obs.CopyTrace(s.baseCtx, r.Context()), j, params.Timeout, work)
 		w.Header().Set("Location", "/v1/solve/"+j.id)
 		writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
 		return
@@ -749,10 +821,34 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	// Engine/scheduler/bus catalog: the cross-strategy aggregate under
 	// {strategy="all"}, plus one label set per strategy that has run.
 	// "all" is the sum of the others; filter by label when aggregating.
+	//
+	// The aggregate is recomputed from the catalog on every scrape:
+	// re-seeding the catalog and unioning in every instrument name seen
+	// per strategy guarantees an instrument registered after the first
+	// scrape (an ad-hoc counter a job created, a catalog entry added by
+	// a newer component) still gets its {strategy="all"} row.
 	s.mu.Lock()
-	c.Add(map[string]string{"strategy": "all"}, s.global.Snapshot())
+	seedCatalog(s.global)
+	perStratSnaps := make(map[string]obs.Snapshot, len(s.perStrat))
 	for tag, reg := range s.perStrat {
-		c.Add(map[string]string{"strategy": tag}, reg.Snapshot())
+		snap := reg.Snapshot()
+		perStratSnaps[tag] = snap
+		for name := range snap.Counters {
+			s.global.Counter(name)
+		}
+		for name := range snap.Gauges {
+			s.global.Gauge(name)
+		}
+		for name := range snap.TimersNS {
+			s.global.Timer(name)
+		}
+		for name := range snap.Histograms {
+			s.global.Histogram(name)
+		}
+	}
+	c.Add(map[string]string{"strategy": "all"}, s.global.Snapshot())
+	for tag, snap := range perStratSnaps {
+		c.Add(map[string]string{"strategy": tag}, snap)
 	}
 	for key, n := range s.solves {
 		c.AddCounter("solves", "completed solve jobs by strategy and status",

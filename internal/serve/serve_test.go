@@ -171,6 +171,16 @@ func TestMetricsExposesCatalog(t *testing.T) {
 	names := parseMetrics(t, out)
 	for _, ins := range obs.Catalog() {
 		want := promtext.MetricName(promtext.DefaultNamespace, ins.Name, ins.Kind)
+		if ins.Kind == obs.KindHistogram {
+			// Histogram samples carry the _bucket/_sum/_count suffixes;
+			// the base name appears only in HELP/TYPE.
+			for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+				if !names[want+sfx] {
+					t.Errorf("/metrics missing catalog histogram series %q (instrument %q)", want+sfx, ins.Name)
+				}
+			}
+			continue
+		}
 		if !names[want] {
 			t.Errorf("/metrics missing catalog metric %q (instrument %q)", want, ins.Name)
 		}
@@ -370,13 +380,13 @@ func TestClientDisconnectReturnsInterrupted(t *testing.T) {
 func TestQueueDepthBoundsAdmission(t *testing.T) {
 	s := New(Config{QueueDepth: 2})
 	defer s.Close()
-	if _, err := s.submit("MH"); err != nil {
+	if _, err := s.submit("MH", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.submit("MH"); err != nil {
+	if _, err := s.submit("MH", nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := s.submit("MH"); err == nil {
+	if _, err := s.submit("MH", nil); err == nil {
 		t.Fatal("third submission admitted past QueueDepth=2")
 	}
 }
@@ -516,5 +526,44 @@ func TestCancelEndpointInterruptsDetachedJob(t *testing.T) {
 			t.Fatalf("job never interrupted (status %q)", doc.Status)
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMetricsAggregateRecomputedPerScrape pins the {strategy="all"}
+// contract: an instrument that first appears AFTER the initial catalog
+// seeding — here injected straight into a per-strategy aggregate, as an
+// ad-hoc counter from a newer component would be — still gets its
+// {strategy="all"} row, because the aggregate is recomputed from the
+// catalog and the per-strategy snapshots on every scrape.
+func TestMetricsAggregateRecomputedPerScrape(t *testing.T) {
+	s, ts := newTestServer(t)
+
+	// First scrape fixes the old behavior's seeding point.
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// A later component registers an instrument the catalog never knew.
+	reg := obs.NewRegistry()
+	reg.Counter("core.experimental").Add(5)
+	s.mu.Lock()
+	s.perStrat["XX"] = reg
+	s.mu.Unlock()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	out := string(body)
+	if !strings.Contains(out, `incdes_core_experimental_total{strategy="XX"} 5`) {
+		t.Errorf("per-strategy row missing:\n%.2000s", out)
+	}
+	if !strings.Contains(out, `incdes_core_experimental_total{strategy="all"}`) {
+		t.Errorf("late-registered instrument has no {strategy=\"all\"} row")
 	}
 }

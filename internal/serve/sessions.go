@@ -179,7 +179,7 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ErrCodeBadRequest, "reading application: %v", err)
 		return
 	}
-	j, err := s.submit(strat.Name())
+	j, err := s.submit(strat.Name(), obs.TraceFrom(r.Context()))
 	if err != nil {
 		writeRetryError(w, http.StatusTooManyRequests, ErrCodeQueueFull, time.Second, "%v", err)
 		return
@@ -196,7 +196,11 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 			cp.SolveCache = s.solutions
 			cp.CacheSpec = params.cacheSpec()
 		}
-		res, err := sess.Commit(ctx, app, cp)
+		cctx, cspan := obs.StartSpan(ctx, "session.commit")
+		t0 := time.Now()
+		res, err := sess.Commit(cctx, app, cp)
+		cspan.End()
+		j.reg.Histogram(obs.HstCommitSeconds).ObserveSince(t0)
 		if err != nil {
 			return nil, err
 		}
@@ -211,7 +215,7 @@ func (s *Server) handleSessionCommit(w http.ResponseWriter, r *http.Request) {
 		return NewSolutionDoc(res.Solution)
 	}
 	if params.Detach {
-		go s.run(s.baseCtx, j, params.Timeout, work)
+		go s.run(obs.CopyTrace(s.baseCtx, r.Context()), j, params.Timeout, work)
 		w.Header().Set("Location", "/v1/solve/"+j.id)
 		writeJSON(w, http.StatusAccepted, &JobStatusDoc{ID: j.id, Status: StatusQueued, Strategy: j.strategy})
 		return

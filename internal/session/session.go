@@ -504,47 +504,63 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 	s.commitMu.Lock()
 	defer s.commitMu.Unlock()
 
-	s.mu.Lock()
-	head, ok := s.doc.Branches[branch]
-	if !ok {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %q", ErrUnknownBranch, branch)
-	}
-	src, err := s.stateAtLocked(head)
+	// Legality + base preparation, under the session lock and the
+	// request's "commit.legality" span: resolve the branch head, validate
+	// the composed system (hyperperiod rule), restrict the frozen
+	// composite and fetch the metric baseline.
+	var (
+		head      int
+		parentSys *model.System
+		newSys    *model.System
+		base      *sched.State
+		bl        *metrics.Baseline
+		reused    bool
+		parentFP  string
+	)
+	_, legalitySpan := obs.StartSpan(ctx, "commit.legality")
+	err := func() error {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		var ok bool
+		head, ok = s.doc.Branches[branch]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownBranch, branch)
+		}
+		src, err := s.stateAtLocked(head)
+		if err != nil {
+			return err
+		}
+		parentSys, err = s.systemAtLocked(head)
+		if err != nil {
+			return err
+		}
+		newSys = &model.System{
+			Arch: s.doc.System.Arch,
+			Apps: append(append([]*model.Application(nil), parentSys.Apps...), app),
+		}
+		if err := newSys.Validate(); err != nil {
+			return fmt.Errorf("%w: %v", ErrIllegalCommit, err)
+		}
+		if hp := newSys.Hyperperiod(); hp != src.Horizon() {
+			return fmt.Errorf("%w: application %q changes the hyperperiod from %v to %v",
+				ErrIllegalCommit, app.Name, src.Horizon(), hp)
+		}
+		base, err = sched.Restrict(src, newSys, func(model.AppID) bool { return true })
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrIllegalCommit, err)
+		}
+		bl, reused, err = s.baselineAtLocked(head)
+		if err != nil {
+			return err
+		}
+		parentFP = s.doc.Versions[head].Fingerprint
+		return nil
+	}()
+	legalitySpan.SetAttr("branch", branch)
+	legalitySpan.End()
 	if err != nil {
-		s.mu.Unlock()
 		return nil, err
 	}
-	parentSys, err := s.systemAtLocked(head)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	newSys := &model.System{
-		Arch: s.doc.System.Arch,
-		Apps: append(append([]*model.Application(nil), parentSys.Apps...), app),
-	}
-	if err := newSys.Validate(); err != nil {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrIllegalCommit, err)
-	}
-	if hp := newSys.Hyperperiod(); hp != src.Horizon() {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: application %q changes the hyperperiod from %v to %v",
-			ErrIllegalCommit, app.Name, src.Horizon(), hp)
-	}
-	base, err := sched.Restrict(src, newSys, func(model.AppID) bool { return true })
-	if err != nil {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrIllegalCommit, err)
-	}
-	bl, reused, err := s.baselineAtLocked(head)
-	if err != nil {
-		s.mu.Unlock()
-		return nil, err
-	}
-	parentFP := s.doc.Versions[head].Fingerprint
-	s.mu.Unlock()
 
 	var key string
 	var sol *core.Solution
@@ -566,6 +582,7 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 			// produced. A replay failure falls through to a real solve (on
 			// the untouched base) — the cache is advisory, never
 			// authoritative.
+			_, replaySpan := obs.StartSpan(ctx, "commit.replay")
 			st := base.Clone()
 			if err := st.ScheduleApp(app, ent.mapping, ent.hints); err == nil {
 				sol = &core.Solution{
@@ -579,6 +596,12 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 				cacheHit = true
 				s.count(obs.CtrSessSolveCacheHits)
 			}
+			if cacheHit {
+				replaySpan.SetAttr("outcome", "replayed")
+			} else {
+				replaySpan.SetAttr("outcome", "replay_failed")
+			}
+			replaySpan.End()
 		}
 	}
 	if sol == nil {
@@ -613,6 +636,8 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 		return res, nil
 	}
 
+	_, freezeSpan := obs.StartSpan(ctx, "commit.freeze")
+	defer freezeSpan.End()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.doc.Branches[branch] != head { // a rollback raced the solve
