@@ -7,6 +7,8 @@
 //	        [-job-timeout D] [-parallel N] [-retain N] [-pprof]
 //	        [-session-dir DIR] [-solution-cache N]
 //	        [-debug-requests N] [-slow-request-log D]
+//	        [-coordinator -workers URL,URL,...]
+//	        [-worker-of URL [-advertise URL]]
 //
 // Endpoints (API under /v1; the old unversioned solve paths remain as
 // aliases for one release):
@@ -44,6 +46,16 @@
 // and survive restarts (schedules are rematerialized by deterministic
 // replay); without it sessions are held in memory only.
 //
+// Cluster mode. With -coordinator the daemon shards solves across the
+// worker daemons listed in -workers (and any that self-register at POST
+// /v1/cluster/workers): SA restart chains, portfolio lanes and whole
+// jobs run remotely and reduce deterministically, so the answer is
+// byte-identical at any cluster size. /v1/metrics then merges each
+// worker's instruments under per-worker labels. With -worker-of URL the
+// daemon serves the cluster RPC endpoint and keeps itself registered
+// with the coordinator at URL, advertising -advertise (default
+// http://localhost<addr>).
+//
 // SIGINT/SIGTERM drain the server: readiness flips to 503, in-flight
 // solves are cancelled (returning best-so-far designs) and the listener
 // shuts down gracefully.
@@ -58,9 +70,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"incdes/internal/cluster"
 	"incdes/internal/core"
 	"incdes/internal/serve"
 	"incdes/internal/session"
@@ -79,7 +93,16 @@ func main() {
 	solutionCache := flag.Int("solution-cache", 0, "whole-solution LRU entries; identical requests coalesce and replay (0 = off)")
 	debugRequests := flag.Int("debug-requests", 0, "completed request span trees retained for /v1/debug/requests (0 = default 256, negative = off)")
 	slowRequestLog := flag.Duration("slow-request-log", 0, "log a one-line span breakdown of requests at least this slow (0 = off)")
+	coordinator := flag.Bool("coordinator", false, "shard solves across the cluster workers in -workers")
+	workers := flag.String("workers", "", "comma-separated worker base URLs for -coordinator")
+	leaseTimeout := flag.Duration("lease-timeout", 0, "coordinator: heartbeat silence before a unit is duplicated elsewhere (0 = 3s)")
+	workerOf := flag.String("worker-of", "", "coordinator base URL to serve as a cluster worker of")
+	advertise := flag.String("advertise", "", "base URL this worker registers with its coordinator (default http://localhost<addr>)")
 	flag.Parse()
+
+	if *coordinator && *workerOf != "" {
+		log.Fatal("incmapd: -coordinator and -worker-of are mutually exclusive")
+	}
 
 	mode := core.IncrementalOn
 	if !*incremental {
@@ -93,7 +116,7 @@ func main() {
 		}
 		store = ds
 	}
-	srv := serve.New(serve.Config{
+	cfg := serve.Config{
 		MaxConcurrent:     *maxConcurrent,
 		QueueDepth:        *queue,
 		JobTimeout:        *jobTimeout,
@@ -105,15 +128,54 @@ func main() {
 		SolutionCacheSize: *solutionCache,
 		DebugRequests:     *debugRequests,
 		SlowRequestLog:    *slowRequestLog,
-	})
+	}
 
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	var coord *cluster.Coordinator
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(strings.TrimRight(u, "/")); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		coord = cluster.NewCoordinator(cluster.Options{Workers: urls, LeaseTimeout: *leaseTimeout})
+		cfg.Dispatcher = coord
+		cfg.MetricsExtra = coord.MetricsExtra
+	}
+	srv := serve.New(cfg)
+
+	handler := srv.Handler()
+	if coord != nil {
+		handler = coord.Handler(handler)
+	}
+	var worker *cluster.Worker
+	if *workerOf != "" {
+		worker = cluster.NewWorker(srv, cluster.WorkerOptions{})
+		handler = worker.Handler(handler)
+	}
+
+	hs := &http.Server{Addr: *addr, Handler: handler}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if worker != nil {
+		self := *advertise
+		if self == "" {
+			self = "http://localhost" + *addr
+		}
+		go worker.RegisterLoop(ctx, strings.TrimRight(*workerOf, "/"), strings.TrimRight(self, "/"))
+	}
+
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("incmapd listening on %s (pprof %v, job timeout %v)", *addr, *pprofOn, *jobTimeout)
+	switch {
+	case coord != nil:
+		log.Printf("incmapd listening on %s (coordinator, %d static workers, job timeout %v)", *addr, len(strings.FieldsFunc(*workers, func(r rune) bool { return r == ',' })), *jobTimeout)
+	case worker != nil:
+		log.Printf("incmapd listening on %s (worker of %s, job timeout %v)", *addr, *workerOf, *jobTimeout)
+	default:
+		log.Printf("incmapd listening on %s (pprof %v, job timeout %v)", *addr, *pprofOn, *jobTimeout)
+	}
 
 	select {
 	case err := <-errc:
@@ -121,6 +183,9 @@ func main() {
 	case <-ctx.Done():
 	}
 	log.Print("incmapd: draining")
+	if coord != nil {
+		coord.Close()
+	}
 	srv.Close() // cancel running solves; readiness goes 503
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()

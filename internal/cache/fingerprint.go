@@ -31,7 +31,7 @@ import (
 // whenever the canonical serialization below changes shape, so caches
 // populated by older revisions can never serve a differently-encoded
 // request.
-const FingerprintSchemaVersion = 1
+const FingerprintSchemaVersion = 2
 
 // Spec is the canonical strategy identity of a request: the strategy
 // name plus every tuning knob the HTTP and CLI surfaces expose that can
@@ -46,6 +46,10 @@ type Spec struct {
 	SAIters    int
 	SARestarts int
 	SASeed     int64
+	// SAChainOffset shifts the global SA chain index (cluster chain-range
+	// units). Two units with identical tuning but different offsets solve
+	// different chains, so the offset must participate in the hash.
+	SAChainOffset int
 }
 
 // normalized resolves the default name and drops tuning that the named
@@ -55,7 +59,7 @@ func (s Spec) normalized() Spec {
 		s.Name = "mh"
 	}
 	if s.Name != "sa" && s.Name != "portfolio" {
-		s.SAIters, s.SARestarts, s.SASeed = 0, 0, 0
+		s.SAIters, s.SARestarts, s.SASeed, s.SAChainOffset = 0, 0, 0, 0
 	}
 	return s
 }
@@ -131,6 +135,7 @@ func Fingerprint(r Request) string {
 	h.i64(int64(spec.SAIters))
 	h.i64(int64(spec.SARestarts))
 	h.i64(spec.SASeed)
+	h.i64(int64(spec.SAChainOffset))
 	return hex.EncodeToString(h.h.Sum(nil))
 }
 

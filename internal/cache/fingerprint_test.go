@@ -114,6 +114,12 @@ func TestSpecNormalization(t *testing.T) {
 	if fp(Spec{Name: "portfolio", SASeed: 1}) == fp(Spec{Name: "portfolio", SASeed: 2}) {
 		t.Error("portfolio ignores SASeed")
 	}
+	if fp(Spec{Name: "mh", SAChainOffset: 3}) != fp(Spec{Name: "mh"}) {
+		t.Error("mh observes SAChainOffset")
+	}
+	if fp(Spec{Name: "sa", SAChainOffset: 1}) == fp(Spec{Name: "sa", SAChainOffset: 2}) {
+		t.Error("sa ignores SAChainOffset")
+	}
 }
 
 // TestFingerprintSensitivity mutates every result-relevant field one at
@@ -154,6 +160,11 @@ func TestFingerprintSensitivity(t *testing.T) {
 		"sa-seed": func(t *testing.T) Request {
 			r := baseRequest(t)
 			r.Strategy.SASeed = 8
+			return r
+		},
+		"sa-chain-offset": func(t *testing.T) Request {
+			r := baseRequest(t)
+			r.Strategy.SAChainOffset = 2
 			return r
 		},
 		"weight-w1p": func(t *testing.T) Request {

@@ -1,0 +1,133 @@
+package cluster
+
+// Coordinator-side RPC client: one call per work unit, speaking either
+// the SSE-framed cluster.execute stream or plain-JSON envelopes.
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime"
+	"net/http"
+	"strings"
+	"sync/atomic"
+
+	"incdes/internal/obs"
+)
+
+// client posts RPC envelopes to worker base URLs. Safe for concurrent
+// use.
+type client struct {
+	http *http.Client
+	next atomic.Int64 // request-ID counter; correlation only, no protocol meaning
+}
+
+func (c *client) call(ctx context.Context, baseURL string, req rpcRequest) (*http.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+RPCPath, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return c.http.Do(hreq)
+}
+
+// decodeResponse unwraps an rpc envelope into out, mapping the error
+// branch to *rpcFailure.
+func decodeResponse(raw []byte, out any) error {
+	var resp rpcResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return fmt.Errorf("cluster: decoding rpc response: %w", err)
+	}
+	if resp.Error != nil {
+		return &rpcFailure{code: resp.Error.Code, msg: resp.Error.Message}
+	}
+	return json.Unmarshal(resp.Result, out)
+}
+
+// execute runs one unit on the worker at baseURL. progress (may be nil)
+// is invoked on every heartbeat event — the lease liveness signal.
+func (c *client) execute(ctx context.Context, baseURL string, params ExecuteParams, progress func()) (*ExecuteResult, error) {
+	raw, err := json.Marshal(params)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.call(ctx, baseURL, rpcRequest{Method: MethodExecute, ID: c.next.Add(1), Params: raw})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	mt, _, _ := mime.ParseMediaType(resp.Header.Get("Content-Type"))
+	var envelope []byte
+	if mt == "text/event-stream" {
+		envelope, err = readStream(resp.Body, progress)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		envelope, err = io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+		if err != nil {
+			return nil, err
+		}
+	}
+	var res ExecuteResult
+	if err := decodeResponse(envelope, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// readStream consumes an SSE stream until the terminal "result" event
+// and returns its data payload. Any heartbeat fires progress.
+func readStream(r io.Reader, progress func()) ([]byte, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	var event string
+	var data bytes.Buffer
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if event == "result" {
+				return bytes.Clone(data.Bytes()), nil
+			}
+			if event == "progress" && progress != nil {
+				progress()
+			}
+			event = ""
+			data.Reset()
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("cluster: execute stream: %w", err)
+	}
+	return nil, fmt.Errorf("cluster: execute stream ended without result")
+}
+
+// snapshot fetches the worker's aggregate obs snapshot.
+func (c *client) snapshot(ctx context.Context, baseURL string) (*obs.Snapshot, error) {
+	resp, err := c.call(ctx, baseURL, rpcRequest{Method: MethodSnapshot, ID: c.next.Add(1)})
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	var res SnapshotResult
+	if err := decodeResponse(raw, &res); err != nil {
+		return nil, err
+	}
+	return &res.Snapshot, nil
+}

@@ -1,0 +1,202 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"incdes/internal/serve"
+)
+
+func TestPlanUnits(t *testing.T) {
+	t.Run("mh-whole", func(t *testing.T) {
+		units := planUnits(serve.SolveParams{Strategy: "mh", Timeout: 2 * time.Second})
+		if len(units) != 1 || units[0].params.Strategy != "mh" || units[0].params.TimeoutMS != 2000 {
+			t.Fatalf("units = %+v", units)
+		}
+	})
+	t.Run("sa-one-unit-per-chain", func(t *testing.T) {
+		units := planUnits(serve.SolveParams{Strategy: "sa", SARestarts: 3, SAIters: 100, SASeed: 7})
+		if len(units) != 3 {
+			t.Fatalf("len = %d, want 3", len(units))
+		}
+		for c, u := range units {
+			p := u.params
+			if p.Strategy != "sa" || p.SARestarts != 1 || p.SAChainOffset != c || p.SASeed != 7 || p.SAIters != 100 {
+				t.Errorf("chain %d: params = %+v", c, p)
+			}
+			if u.idx != c || u.chain != c || u.tag != "SA" {
+				t.Errorf("chain %d: unit = %+v", c, u)
+			}
+		}
+	})
+	t.Run("sa-default-restarts", func(t *testing.T) {
+		if n := len(planUnits(serve.SolveParams{Strategy: "sa"})); n != 1 {
+			t.Fatalf("len = %d, want 1", n)
+		}
+	})
+	t.Run("portfolio-lanes-plus-chains", func(t *testing.T) {
+		units := planUnits(serve.SolveParams{Strategy: "portfolio", SARestarts: 2})
+		if len(units) != 4 {
+			t.Fatalf("len = %d, want 4", len(units))
+		}
+		if units[0].params.Strategy != "ah" || units[0].lane != 0 ||
+			units[1].params.Strategy != "mh" || units[1].lane != 1 {
+			t.Fatalf("lanes = %+v", units[:2])
+		}
+		for c, u := range units[2:] {
+			if u.lane != 2 || u.chain != c || u.params.SAChainOffset != c || u.idx != 2+c {
+				t.Errorf("sa unit %d = %+v", c, u)
+			}
+		}
+	})
+}
+
+func saOutcome(objective float64, evals int, interrupted bool) outcome {
+	return outcome{res: &ExecuteResult{
+		Status: serve.StatusDone,
+		Doc:    &serve.SolutionDoc{Strategy: "SA", Objective: objective, Evaluations: evals, Interrupted: interrupted},
+	}}
+}
+
+func TestReduceSA(t *testing.T) {
+	t.Run("winner-and-evals", func(t *testing.T) {
+		doc, best := reduceSA([]outcome{
+			saOutcome(10, 101, false),
+			saOutcome(4, 51, false),
+			saOutcome(7, 31, false),
+		})
+		if best != 1 || doc.Objective != 4 {
+			t.Fatalf("best = %d, doc = %+v", best, doc)
+		}
+		// Grouping-independent total: 1 + (100 + 50 + 30).
+		if doc.Evaluations != 181 {
+			t.Errorf("evaluations = %d, want 181", doc.Evaluations)
+		}
+		if doc.Interrupted {
+			t.Error("interrupted = true on clean chains")
+		}
+	})
+	t.Run("ties-break-to-lowest-chain", func(t *testing.T) {
+		_, best := reduceSA([]outcome{saOutcome(5, 2, false), saOutcome(5, 2, false)})
+		if best != 0 {
+			t.Errorf("best = %d, want 0", best)
+		}
+	})
+	t.Run("interrupted-ors", func(t *testing.T) {
+		doc, _ := reduceSA([]outcome{saOutcome(5, 2, false), saOutcome(6, 2, true)})
+		if !doc.Interrupted {
+			t.Error("interrupted chain lost in reduce")
+		}
+	})
+}
+
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&rpcFailure{code: serve.ErrCodeQueueFull}, true},
+		{&rpcFailure{code: serve.ErrCodeDraining}, true},
+		{&rpcFailure{code: "unavailable"}, true},
+		{&rpcFailure{code: "bad_request"}, false},
+		{&rpcFailure{code: "internal"}, false},
+		{errors.New("connection refused"), true},
+		{fmt.Errorf("wrapped: %w", &rpcFailure{code: "bad_request"}), false},
+	}
+	for _, tc := range cases {
+		if got := retryable(tc.err); got != tc.want {
+			t.Errorf("retryable(%v) = %v, want %v", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := newRegistry()
+	if n1 := r.add("http://a"); n1 != "w1" {
+		t.Fatalf("name = %q, want w1", n1)
+	}
+	if again := r.add("http://a"); again != "w1" {
+		t.Fatalf("re-add = %q, want w1 (idempotent)", again)
+	}
+	r.add("http://b")
+	r.add("http://c")
+
+	// Least-loaded wins; ties break to the lowest registration index.
+	w := r.pick(nil)
+	if w.name != "w1" {
+		t.Fatalf("first pick = %s, want w1", w.name)
+	}
+	if w2 := r.pick(nil); w2.name != "w2" {
+		t.Fatalf("second pick = %s, want w2 (w1 holds a lease)", w2.name)
+	}
+	if w3 := r.pick(map[string]bool{"w3": true}); w3.name != "w1" && w3.name != "w2" {
+		// All hold one lease; excluded w3 must not be chosen.
+		t.Fatalf("excluded pick = %s", w3.name)
+	}
+	r.release(w)
+
+	// Ejection after the fail limit, and immediate markDown.
+	ws := r.list()
+	if r.probeFail(ws[0], 3) || r.probeFail(ws[0], 3) {
+		t.Fatal("ejected before reaching the fail limit")
+	}
+	if !r.probeFail(ws[0], 3) {
+		t.Fatal("no ejection at the fail limit")
+	}
+	if r.healthyCount() != 2 {
+		t.Fatalf("healthy = %d, want 2", r.healthyCount())
+	}
+	if !r.markDown(ws[1]) || r.markDown(ws[1]) {
+		t.Fatal("markDown transition reported wrong")
+	}
+	// Probe success readmits.
+	if !r.probeOK(ws[0], 5, 1) {
+		t.Fatal("probeOK did not report readmission")
+	}
+	if r.healthyCount() != 2 {
+		t.Fatalf("healthy after readmit = %d, want 2", r.healthyCount())
+	}
+	// The reported queue depth feeds placement.
+	if got := r.list()[0].queueDepth; got != 5 {
+		t.Fatalf("queueDepth = %d, want 5", got)
+	}
+}
+
+func TestReadStream(t *testing.T) {
+	beats := 0
+	stream := "event: progress\ndata: {\"unit\":1}\n\n" +
+		"event: progress\ndata: {\"unit\":1}\n\n" +
+		"event: result\ndata: {\"id\":7,\"result\":{\"status\":\"done\"}}\n\n"
+	raw, err := readStream(strings.NewReader(stream), func() { beats++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if beats != 2 {
+		t.Errorf("heartbeats = %d, want 2", beats)
+	}
+	var res ExecuteResult
+	if err := decodeResponse(raw, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "done" {
+		t.Errorf("status = %q", res.Status)
+	}
+
+	if _, err := readStream(strings.NewReader("event: progress\ndata: {}\n\n"), nil); err == nil {
+		t.Error("truncated stream did not error")
+	}
+}
+
+func TestDecodeResponseError(t *testing.T) {
+	err := decodeResponse([]byte(`{"id":1,"error":{"code":"queue_full","message":"busy"}}`), &ExecuteResult{})
+	if err == nil || !retryable(err) {
+		t.Fatalf("err = %v, want retryable rpc failure", err)
+	}
+	var rf *rpcFailure
+	if !errors.As(err, &rf) || rf.code != serve.ErrCodeQueueFull {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,603 @@
+package cluster
+
+// Coordinator: the serve.Dispatcher that shards a solve into work units,
+// leases them to workers, reassigns on failure, steals stragglers, and
+// reduces the results deterministically (see the package doc for the
+// full argument).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"incdes/internal/obs"
+	"incdes/internal/obs/promtext"
+	"incdes/internal/serve"
+)
+
+// Options tune a Coordinator. Zero values select the defaults.
+type Options struct {
+	// Workers are statically configured worker base URLs (registered
+	// before the first dispatch). Workers may also self-register at
+	// runtime via POST RegisterPath.
+	Workers []string
+	// LeaseTimeout is how long a unit may go without a heartbeat before
+	// a duplicate attempt is launched on another worker (default 3s).
+	LeaseTimeout time.Duration
+	// ProbeInterval is the /readyz health-probe cadence (default 1s).
+	ProbeInterval time.Duration
+	// ProbeFailLimit ejects a worker after this many consecutive failed
+	// probes (default 3). The prober readmits it on the next success.
+	ProbeFailLimit int
+	// HTTPClient carries all coordinator→worker traffic (default: a
+	// client without a global timeout — execute streams are long-lived;
+	// probes and snapshots bound themselves with context deadlines).
+	HTTPClient *http.Client
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTimeout <= 0 {
+		o.LeaseTimeout = 3 * time.Second
+	}
+	if o.ProbeInterval <= 0 {
+		o.ProbeInterval = time.Second
+	}
+	if o.ProbeFailLimit <= 0 {
+		o.ProbeFailLimit = 3
+	}
+	if o.HTTPClient == nil {
+		o.HTTPClient = &http.Client{}
+	}
+	return o
+}
+
+// Coordinator implements serve.Dispatcher over a worker fleet.
+type Coordinator struct {
+	opts Options
+	reg  *registry
+	rpc  *client
+	// own holds the coordinator's fleet-management instruments (probes,
+	// ejections, healthy-worker gauge) — exported on /v1/metrics under
+	// {worker="coordinator"}. Unit-lifecycle counters go to the job
+	// registry instead, so they fold into the serve aggregates.
+	own *obs.Registry
+
+	probeCancel context.CancelFunc
+	probeDone   chan struct{}
+}
+
+// NewCoordinator builds the fleet registry and starts the health
+// prober. Call Close to stop it.
+func NewCoordinator(opts Options) *Coordinator {
+	opts = opts.withDefaults()
+	c := &Coordinator{
+		opts:      opts,
+		reg:       newRegistry(),
+		rpc:       &client{http: opts.HTTPClient},
+		own:       obs.NewRegistry(),
+		probeDone: make(chan struct{}),
+	}
+	for _, u := range opts.Workers {
+		c.reg.add(u)
+	}
+	c.own.Gauge(obs.GagClusterWorkers).Set(int64(c.reg.healthyCount()))
+	ctx, cancel := context.WithCancel(context.Background())
+	c.probeCancel = cancel
+	go c.probeLoop(ctx)
+	return c
+}
+
+// Close stops the health prober.
+func (c *Coordinator) Close() {
+	c.probeCancel()
+	<-c.probeDone
+}
+
+// Handler mounts the worker-registration endpoints in front of next
+// (normally the coordinator's serve handler).
+func (c *Coordinator) Handler(next http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+RegisterPath, c.handleRegister)
+	mux.HandleFunc("GET "+RegisterPath, c.handleWorkers)
+	mux.Handle("/", next)
+	return mux
+}
+
+func (c *Coordinator) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var p RegisterParams
+	if err := json.NewDecoder(r.Body).Decode(&p); err != nil || p.URL == "" {
+		http.Error(w, `{"error":{"code":"bad_request","message":"body must be {\"url\":...}"}}`, http.StatusBadRequest)
+		return
+	}
+	name := c.reg.add(strings.TrimRight(p.URL, "/"))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]string{"name": name})
+}
+
+func (c *Coordinator) handleWorkers(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"workers": c.reg.info()})
+}
+
+// probeLoop polls every worker's /readyz, feeding the load signal and
+// health state the placement logic uses.
+func (c *Coordinator) probeLoop(ctx context.Context) {
+	defer close(c.probeDone)
+	tick := time.NewTicker(c.opts.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			for _, w := range c.reg.list() {
+				c.probe(ctx, w)
+			}
+			c.own.Gauge(obs.GagClusterWorkers).Set(int64(c.reg.healthyCount()))
+		}
+	}
+}
+
+// probe checks one worker. Only a 200 with a parsable body counts as
+// healthy: a draining worker (503) stops receiving new units.
+func (c *Coordinator) probe(ctx context.Context, w *workerState) {
+	c.own.Counter(obs.CtrClusterProbes).Inc()
+	pctx, cancel := context.WithTimeout(ctx, c.opts.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, w.url+"/readyz", nil)
+	if err != nil {
+		c.probeFailed(w)
+		return
+	}
+	resp, err := c.opts.HTTPClient.Do(req)
+	if err != nil {
+		c.probeFailed(w)
+		return
+	}
+	defer resp.Body.Close()
+	var doc serve.ReadyDoc
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&doc) != nil {
+		c.probeFailed(w)
+		return
+	}
+	c.reg.probeOK(w, doc.QueueDepth, doc.InFlight)
+}
+
+func (c *Coordinator) probeFailed(w *workerState) {
+	if c.reg.probeFail(w, c.opts.ProbeFailLimit) {
+		c.own.Counter(obs.CtrClusterEjections).Inc()
+	}
+}
+
+// CanDispatch claims every ordinary solve while at least one worker is
+// schedulable. Chain-slice requests (sa-chain-offset set) are already
+// cluster work units and always run locally — a coordinator that is
+// also registered as someone's worker must not re-shard them.
+func (c *Coordinator) CanDispatch(p serve.SolveParams) bool {
+	return p.SAChainOffset == 0 && c.reg.healthyCount() > 0
+}
+
+// unit is one shard of a solve.
+type unit struct {
+	idx    int    // global unit index: reduce order and span/trace identity
+	lane   int    // portfolio lane (0 for non-portfolio)
+	chain  int    // SA chain index within the lane
+	tag    string // strategy tag for error wrapping ("AH", "MH", "SA")
+	params UnitParams
+}
+
+// planUnits shards the request: ah/mh run whole, sa fans one unit per
+// restart chain, portfolio fans its ah and mh lanes plus the SA lane's
+// chains.
+func planUnits(p serve.SolveParams) []unit {
+	base := UnitParams{
+		App:       p.App,
+		TimeoutMS: int64(p.Timeout / time.Millisecond),
+		NoCache:   p.NoCache,
+	}
+	switch p.Strategy {
+	case "sa":
+		return saUnits(p, base, 0, 0)
+	case "portfolio":
+		ah, mh := base, base
+		ah.Strategy, mh.Strategy = "ah", "mh"
+		units := []unit{
+			{idx: 0, lane: 0, tag: "AH", params: ah},
+			{idx: 1, lane: 1, tag: "MH", params: mh},
+		}
+		return append(units, saUnits(p, base, 2, 2)...)
+	default: // "", "ah", "mh": one unit, passed through
+		u := base
+		u.Strategy = p.Strategy
+		tag := "MH"
+		if p.Strategy == "ah" {
+			tag = "AH"
+		}
+		return []unit{{idx: 0, tag: tag, params: u}}
+	}
+}
+
+// saUnits emits one single-chain unit per restart: Restarts=1 with
+// ChainOffset=c reproduces exactly chain c of the local restart fan.
+func saUnits(p serve.SolveParams, base UnitParams, idx0, lane int) []unit {
+	restarts := p.SARestarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	units := make([]unit, 0, restarts)
+	for ch := 0; ch < restarts; ch++ {
+		up := base
+		up.Strategy = "sa"
+		up.SAIters = p.SAIters
+		up.SASeed = p.SASeed
+		up.SARestarts = 1
+		up.SAChainOffset = ch
+		units = append(units, unit{idx: idx0 + ch, lane: lane, chain: ch, tag: "SA", params: up})
+	}
+	return units
+}
+
+// outcome is one unit's terminal result.
+type outcome struct {
+	res    *ExecuteResult
+	worker string
+	err    error
+}
+
+// Dispatch shards, executes and reduces one solve.
+func (c *Coordinator) Dispatch(ctx context.Context, req *serve.DispatchRequest) (*serve.DispatchResult, error) {
+	units := planUnits(req.Params)
+	var buf bytes.Buffer
+	if err := req.System.WriteJSON(&buf); err != nil {
+		return nil, fmt.Errorf("cluster: serializing system: %w", err)
+	}
+	system := json.RawMessage(buf.Bytes())
+
+	rt := obs.TraceFrom(ctx)
+	requestID := ""
+	if rt != nil {
+		requestID = rt.ID()
+	}
+	dctx, dspan := obs.StartSpan(ctx, "cluster.dispatch")
+	spans := make([]*obs.Span, len(units))
+	for i, u := range units {
+		_, spans[i] = obs.StartSpan(dctx, "cluster.unit")
+		if spans[i] != nil {
+			spans[i].SetAttr("unit", strconv.Itoa(u.idx))
+			spans[i].SetAttr("strategy", u.tag)
+			if u.tag == "SA" {
+				spans[i].SetAttr("chain", strconv.Itoa(u.chain))
+			}
+		}
+	}
+
+	outs := make([]outcome, len(units))
+	var wg sync.WaitGroup
+	for i := range units {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, worker, err := c.runUnit(ctx, req.Registry, requestID, units[i], system)
+			outs[i] = outcome{res: res, worker: worker, err: err}
+		}(i)
+	}
+	wg.Wait()
+
+	// Graft the worker-side span trees in unit order, so the combined
+	// trace is deterministic up to timings and worker names.
+	for i := range units {
+		if spans[i] == nil {
+			continue
+		}
+		if outs[i].worker != "" {
+			spans[i].SetAttr("worker", outs[i].worker)
+		}
+		spans[i].End()
+		if rt != nil && outs[i].res != nil && len(outs[i].res.Spans) > 0 {
+			rt.AttachRemote(spans[i], outs[i].res.Spans, map[string]string{"worker": outs[i].worker})
+		}
+	}
+	if dspan != nil {
+		dspan.End()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	doc, winner, err := c.reduce(req, units, outs)
+	if err != nil {
+		return nil, err
+	}
+	c.emitTrace(req.Tracer, units, outs, doc, winner)
+
+	var workers []string
+	seen := map[string]bool{}
+	for _, o := range outs {
+		if o.worker != "" && !seen[o.worker] {
+			seen[o.worker] = true
+			workers = append(workers, o.worker)
+		}
+	}
+	return &serve.DispatchResult{Doc: doc, Worker: strings.Join(workers, ",")}, nil
+}
+
+// attempt is one worker's answer for a unit.
+type attempt struct {
+	res *ExecuteResult
+	err error
+	ws  *workerState
+}
+
+// runUnit executes one unit with lease-based retry and work stealing.
+// Duplicated or reassigned attempts are safe: every attempt of one unit
+// computes the identical result, so the first answer wins.
+func (c *Coordinator) runUnit(ctx context.Context, jreg *obs.Registry, requestID string, u unit, system json.RawMessage) (*ExecuteResult, string, error) {
+	jreg.Counter(obs.CtrClusterUnits).Inc()
+	t0 := time.Now()
+	defer func() { jreg.Histogram(obs.HstClusterUnitSecs).ObserveSince(t0) }()
+
+	var lastBeat atomic.Int64
+	lastBeat.Store(time.Now().UnixNano())
+	results := make(chan attempt, 8)
+	running := map[string]bool{}
+	inflight := 0
+
+	start := func(ws *workerState) {
+		inflight++
+		running[ws.name] = true
+		go func() {
+			params := ExecuteParams{
+				RequestID: unitRequestID(requestID, u.idx),
+				Unit:      u.idx,
+				Params:    u.params,
+				System:    system,
+			}
+			res, err := c.rpc.execute(ctx, ws.url, params, func() {
+				lastBeat.Store(time.Now().UnixNano())
+			})
+			c.reg.release(ws)
+			results <- attempt{res: res, err: err, ws: ws}
+		}()
+	}
+
+	ws, err := c.lease(ctx, running)
+	if err != nil {
+		return nil, "", err
+	}
+	start(ws)
+
+	leaseTick := time.NewTicker(c.opts.LeaseTimeout / 4)
+	defer leaseTick.Stop()
+	stolen := false
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case a := <-results:
+			inflight--
+			delete(running, a.ws.name)
+			if a.err == nil {
+				return a.res, a.ws.name, nil
+			}
+			jreg.Counter(obs.CtrClusterRPCErrors).Inc()
+			if !retryable(a.err) {
+				return nil, "", a.err
+			}
+			// Transport-level loss: eject the worker now (the prober
+			// readmits it when /readyz answers again) and reassign if
+			// this was the unit's only live attempt.
+			if c.reg.markDown(a.ws) {
+				c.own.Counter(obs.CtrClusterEjections).Inc()
+				c.own.Gauge(obs.GagClusterWorkers).Set(int64(c.reg.healthyCount()))
+			}
+			if inflight == 0 {
+				jreg.Counter(obs.CtrClusterReassigned).Inc()
+				ws, err := c.lease(ctx, running)
+				if err != nil {
+					return nil, "", err
+				}
+				lastBeat.Store(time.Now().UnixNano())
+				start(ws)
+			}
+		case <-leaseTick.C:
+			if stolen || inflight == 0 {
+				continue
+			}
+			if time.Duration(time.Now().UnixNano()-lastBeat.Load()) < c.opts.LeaseTimeout {
+				continue
+			}
+			// Straggler: duplicate the unit on another worker (at most
+			// once per unit); first answer wins.
+			if ws := c.reg.pick(running); ws != nil {
+				stolen = true
+				jreg.Counter(obs.CtrClusterSteals).Inc()
+				start(ws)
+			}
+		}
+	}
+}
+
+// lease blocks until a schedulable worker outside exclude is available.
+func (c *Coordinator) lease(ctx context.Context, exclude map[string]bool) (*workerState, error) {
+	for {
+		if ws := c.reg.pick(exclude); ws != nil {
+			return ws, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+func unitRequestID(requestID string, idx int) string {
+	if requestID == "" {
+		return ""
+	}
+	return fmt.Sprintf("%s/u%d", requestID, idx)
+}
+
+// reduce folds unit outcomes into the solve's single solution document,
+// reproducing the local strategies' winner selection and error
+// precedence bit for bit. Returns the winning unit index.
+func (c *Coordinator) reduce(req *serve.DispatchRequest, units []unit, outs []outcome) (*serve.SolutionDoc, int, error) {
+	// RPC-level failures first, in unit order (these are coordinator
+	// infrastructure errors, not solve outcomes).
+	for i := range units {
+		if outs[i].err != nil {
+			return nil, 0, outs[i].err
+		}
+		if outs[i].res == nil || (outs[i].res.Status != serve.StatusFailed && outs[i].res.Doc == nil) {
+			return nil, 0, fmt.Errorf("cluster: unit %d returned no document", i)
+		}
+	}
+	switch req.Params.Strategy {
+	case "portfolio":
+		return c.reducePortfolio(req, units, outs)
+	case "sa":
+		// Deterministic solve failure: every unit fails identically, so
+		// the first chain's message is the local run's message.
+		for i := range units {
+			if outs[i].res.Status == serve.StatusFailed {
+				return nil, 0, errors.New(outs[i].res.Error)
+			}
+		}
+		doc, winner := reduceSA(outs)
+		return doc, winner, nil
+	default:
+		if outs[0].res.Status == serve.StatusFailed {
+			return nil, 0, errors.New(outs[0].res.Error)
+		}
+		return outs[0].res.Doc, 0, nil
+	}
+}
+
+// reduceSA picks the best chain — lowest objective, ties to the lowest
+// chain index (the same strict-less scan core's SA uses) — and rewrites
+// the evaluation count to the grouping-independent total: every chain
+// doc counts the shared initial evaluation once, so the fan of n chains
+// evaluated 1 + Σ(evals_i − 1) designs regardless of how the chains
+// were grouped onto workers.
+func reduceSA(outs []outcome) (*serve.SolutionDoc, int) {
+	best := -1
+	evals := 1
+	interrupted := false
+	for i, o := range outs {
+		evals += o.res.Doc.Evaluations - 1
+		interrupted = interrupted || o.res.Doc.Interrupted
+		if best < 0 || o.res.Doc.Objective < outs[best].res.Doc.Objective {
+			best = i
+		}
+	}
+	doc := *outs[best].res.Doc
+	doc.Evaluations = evals
+	doc.Interrupted = interrupted
+	return &doc, best
+}
+
+// reducePortfolio reproduces the local portfolio's error precedence
+// (first failed lane in lane order, wrapped with lane index and tag)
+// and winner selection (lowest objective, ties to the lowest lane).
+func (c *Coordinator) reducePortfolio(req *serve.DispatchRequest, units []unit, outs []outcome) (*serve.SolutionDoc, int, error) {
+	for i := range units {
+		if outs[i].res.Status == serve.StatusFailed {
+			return nil, 0, fmt.Errorf("core: portfolio lane %d (%s): %s", units[i].lane, units[i].tag, outs[i].res.Error)
+		}
+	}
+	// Lane documents: ah and mh pass through; the SA lane reduces its
+	// chain units exactly like a standalone sa solve.
+	laneDocs := []*serve.SolutionDoc{outs[0].res.Doc, outs[1].res.Doc}
+	saDoc, saBest := reduceSA(outs[2:])
+	laneDocs = append(laneDocs, saDoc)
+	winner := 0
+	for i, d := range laneDocs {
+		if d.Objective < laneDocs[winner].Objective {
+			winner = i
+		}
+	}
+	req.Registry.Gauge(obs.GagPortfolioWinner).Set(int64(winner))
+	winnerUnit := winner
+	if winner == 2 {
+		winnerUnit = 2 + saBest
+	}
+	return laneDocs[winner], winnerUnit, nil
+}
+
+// emitTrace records the deterministic cluster events into the job's SSE
+// buffer: one cluster.unit event per unit in index order, then the
+// decision. Worker names never appear here — the stream must not depend
+// on scheduling.
+func (c *Coordinator) emitTrace(t obs.Tracer, units []unit, outs []outcome, doc *serve.SolutionDoc, winner int) {
+	if t == nil {
+		return
+	}
+	for i, u := range units {
+		ev := obs.TraceEvent{
+			Kind:     "cluster.unit",
+			Strategy: u.tag,
+			Chain:    u.idx,
+			Feasible: outs[i].res != nil && outs[i].res.Doc != nil,
+		}
+		if outs[i].res != nil && outs[i].res.Doc != nil {
+			ev.Cost = outs[i].res.Doc.Objective
+			ev.Evaluations = int64(outs[i].res.Doc.Evaluations)
+		}
+		t.Trace(ev)
+	}
+	t.Trace(obs.TraceEvent{
+		Kind:        "decision",
+		Strategy:    doc.Strategy,
+		Chain:       winner,
+		Cost:        doc.Objective,
+		Evaluations: int64(doc.Evaluations),
+	})
+}
+
+// MetricsExtra merges the fleet's metrics into the coordinator's
+// /v1/metrics exposition: the coordinator's own fleet instruments under
+// {worker="coordinator"}, each worker's aggregate snapshot under
+// {worker="wN"}, and the cross-fleet merge under {worker="all"}.
+// Unreachable workers are skipped — the exposition must not block on a
+// dead node.
+func (c *Coordinator) MetricsExtra(col *promtext.Collection) {
+	col.Add(map[string]string{"worker": "coordinator"}, c.own.Snapshot())
+	agg := obs.NewRegistry()
+	for _, w := range c.reg.list() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		snap, err := c.rpc.snapshot(ctx, w.url)
+		cancel()
+		if err != nil {
+			continue
+		}
+		col.Add(map[string]string{"worker": w.name}, *snap)
+		mergeSnapshot(agg, snap)
+	}
+	col.Add(map[string]string{"worker": "all"}, agg.Snapshot())
+}
+
+// mergeSnapshot folds one worker snapshot into the aggregate registry:
+// counters and timers add, gauges last-win, histograms merge bucket-wise.
+func mergeSnapshot(agg *obs.Registry, s *obs.Snapshot) {
+	for name, v := range s.Counters {
+		agg.Counter(name).Add(v)
+	}
+	for name, v := range s.Gauges {
+		agg.Gauge(name).Set(v)
+	}
+	for name, ns := range s.TimersNS {
+		agg.Timer(name).Observe(time.Duration(ns))
+	}
+	for name, hs := range s.Histograms {
+		// Mismatched bounds cannot merge; drop rather than corrupt.
+		_ = agg.Histogram(name).Merge(hs)
+	}
+}

@@ -32,6 +32,13 @@ type SAOptions struct {
 	// chain result wins (ties break toward the lowest chain index). The
 	// chains are what Solve fans across workers. 0 means 1.
 	Restarts int
+	// ChainOffset shifts the global chain index: local chain c derives
+	// its RNG stream from chain index ChainOffset+c. A cluster
+	// coordinator uses this to run a slice of a larger restart fan on a
+	// remote worker — Restarts=1, ChainOffset=k reproduces exactly chain
+	// k of a local Restarts=n run. ChainOffset does not participate in
+	// iteration auto-sizing or cooling; it only selects RNG streams.
+	ChainOffset int
 	// InitialTemp is the starting temperature in objective units (0
 	// selects 40: early on, moves ~40 objective points uphill are
 	// frequently accepted).
@@ -211,7 +218,7 @@ func (s saStrategy) runChain(ctx context.Context, eng *Engine, c int, o SAOption
 	ctr saCounters) chainResult {
 
 	p := eng.Problem()
-	rng := rand.New(rand.NewSource(chainSeed(o.Seed, c)))
+	rng := rand.New(rand.NewSource(chainSeed(o.Seed, o.ChainOffset+c)))
 
 	mapping := mapping0
 	hints := sched.Hints{}

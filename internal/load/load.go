@@ -29,9 +29,11 @@ import (
 
 // SchemaVersion identifies the JSON layout of Report. Version 2 added
 // the serialized per-class latency histogram (ClassReport.Histogram);
-// the scalar percentile fields are unchanged, so Compare still diffs
-// against version-1 baselines.
-const SchemaVersion = 2
+// version 3 added the per-worker latency rows (Report.Workers) populated
+// when responses carry the cluster's X-Incdes-Worker attribution. The
+// scalar percentile fields are unchanged, so Compare still diffs against
+// version-1 and -2 baselines.
+const SchemaVersion = 3
 
 // latencyBounds are the per-class histogram buckets, in milliseconds:
 // 10 per decade from 10µs to 10s. Denser than the serving catalog's
@@ -110,6 +112,14 @@ func Named(name string) (Profile, bool) {
 		// acceptance criterion is measured on.
 		return Profile{Name: "resubmit", Requests: 80, Concurrency: 8, Seed: 1,
 			Mix: Mix{Resubmit: 1}, DistinctPool: 1}, true
+	case "cluster":
+		// Cluster-shaped traffic for a coordinator target: cache-miss-heavy
+		// (distinct and detached solves dominate) so most requests actually
+		// dispatch to workers and the per-worker latency rows fill in.
+		// pool as large as the distinct-request count, so no distinct
+		// solve repeats within a run.
+		return Profile{Name: "cluster", Requests: 60, Concurrency: 6, Seed: 1,
+			Mix: Mix{Resubmit: 2, Distinct: 4, Detach: 3, Commit: 1}, DistinctPool: 24}, true
 	}
 	return Profile{}, false
 }
@@ -165,6 +175,11 @@ type Report struct {
 	WallMS        float64                `json:"wall_ms"`
 	Classes       map[string]ClassReport `json:"classes"`
 	Cache         CacheReport            `json:"cache"`
+	// Workers aggregates latencies by the X-Incdes-Worker response
+	// attribution a cluster coordinator emits ("w1", "w2,w3" for multi-
+	// worker fan-outs). Empty outside cluster runs; cache hits and local
+	// solves carry no attribution and are not counted here.
+	Workers map[string]ClassReport `json:"workers,omitempty"`
 }
 
 // Errors sums the error counts across classes.
@@ -178,10 +193,11 @@ func (r *Report) Errors() int {
 
 // sample is one completed request.
 type sample struct {
-	class string
-	ms    float64
-	cache string // X-Incdes-Cache header value, "" when absent
-	err   error
+	class  string
+	ms     float64
+	cache  string // X-Incdes-Cache header value, "" when absent
+	worker string // X-Incdes-Worker header value, "" when absent
+	err    error
 }
 
 // Run drives the profile against h — normally serve.Server.Handler()
@@ -221,6 +237,8 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 		Classes:       map[string]ClassReport{},
 	}
 	byClass := map[string]*obs.Histogram{}
+	byWorker := map[string]*obs.Histogram{}
+	workerCounts := map[string]ClassReport{}
 	for _, s := range samples {
 		c := rep.Classes[s.class]
 		c.Requests++
@@ -235,6 +253,21 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 			h.Observe(s.ms)
 		}
 		rep.Classes[s.class] = c
+		if s.worker != "" {
+			wc := workerCounts[s.worker]
+			wc.Requests++
+			if s.err != nil {
+				wc.Errors++
+			} else {
+				h := byWorker[s.worker]
+				if h == nil {
+					h = obs.NewHistogram(latencyBounds())
+					byWorker[s.worker] = h
+				}
+				h.Observe(s.ms)
+			}
+			workerCounts[s.worker] = wc
+		}
 		switch s.cache {
 		case "hit":
 			rep.Cache.Hit++
@@ -244,15 +277,26 @@ func Run(h http.Handler, p Profile) (*Report, error) {
 			rep.Cache.Inflight++
 		}
 	}
-	for name, h := range byClass {
+	fill := func(c ClassReport, h *obs.Histogram) ClassReport {
 		hs := h.Snapshot()
-		c := rep.Classes[name]
 		c.MeanMS = hs.Mean()
 		c.P50MS = hs.Quantile(0.50)
 		c.P95MS = hs.Quantile(0.95)
 		c.P99MS = hs.Quantile(0.99)
 		c.Histogram = &hs
-		rep.Classes[name] = c
+		return c
+	}
+	for name, h := range byClass {
+		rep.Classes[name] = fill(rep.Classes[name], h)
+	}
+	if len(workerCounts) > 0 {
+		rep.Workers = map[string]ClassReport{}
+		for name, wc := range workerCounts {
+			if h := byWorker[name]; h != nil {
+				wc = fill(wc, h)
+			}
+			rep.Workers[name] = wc
+		}
 	}
 	if n := rep.Cache.Hit + rep.Cache.Miss + rep.Cache.Inflight; n > 0 {
 		rep.CacheEnabled = true
@@ -421,9 +465,10 @@ func (w *workload) issue(h http.Handler, p Profile, i int) sample {
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, req)
 	s := sample{
-		class: class,
-		ms:    float64(time.Since(start)) / float64(time.Millisecond),
-		cache: rec.Header().Get("X-Incdes-Cache"),
+		class:  class,
+		ms:     float64(time.Since(start)) / float64(time.Millisecond),
+		cache:  rec.Header().Get("X-Incdes-Cache"),
+		worker: rec.Header().Get("X-Incdes-Worker"),
 	}
 	wantCode := http.StatusOK
 	if class == ClassDetach {

@@ -1,8 +1,11 @@
 package load
 
 import (
+	"fmt"
+	"net/http"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"incdes/internal/serve"
@@ -22,7 +25,7 @@ func newHarnessServer(t *testing.T, cacheSize int) *serve.Server {
 }
 
 func TestNamedProfiles(t *testing.T) {
-	for _, name := range []string{"smoke", "mixed", "resubmit"} {
+	for _, name := range []string{"smoke", "mixed", "resubmit", "cluster"} {
 		p, ok := Named(name)
 		if !ok {
 			t.Errorf("Named(%q) unknown", name)
@@ -91,6 +94,42 @@ func TestRunProducesFullReport(t *testing.T) {
 	// every resubmit after the first is a hit or coalesce.
 	if rep.Cache.Hit+rep.Cache.Inflight == 0 || rep.Cache.HitRate <= 0 {
 		t.Errorf("cache report shows no reuse: %+v", rep.Cache)
+	}
+}
+
+// TestRunWorkerRows pins the per-worker report: when responses carry
+// X-Incdes-Worker attribution (as a cluster coordinator's do), the
+// report grows a latency row per worker; without the header the
+// Workers map stays empty (checked implicitly by every other test's
+// round-trips).
+func TestRunWorkerRows(t *testing.T) {
+	s := newHarnessServer(t, 0)
+	inner := s.Handler()
+	var n atomic.Int64
+	tagged := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Incdes-Worker", fmt.Sprintf("w%d", n.Add(1)%2+1))
+		inner.ServeHTTP(w, r)
+	})
+	p := Profile{Name: "tag", Requests: 6, Concurrency: 2, Seed: 3, Mix: Mix{Distinct: 1}, DistinctPool: 3}
+	rep, err := Run(tagged, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Errors() != 0 {
+		t.Fatalf("%d request errors", rep.Errors())
+	}
+	if len(rep.Workers) != 2 {
+		t.Fatalf("worker rows = %v, want w1 and w2", rep.Workers)
+	}
+	total := 0
+	for name, c := range rep.Workers {
+		if c.Requests == 0 || c.P99MS < c.P50MS {
+			t.Errorf("worker %s row shape: %+v", name, c)
+		}
+		total += c.Requests
+	}
+	if total != p.Requests {
+		t.Errorf("worker rows account for %d requests, want %d", total, p.Requests)
 	}
 }
 

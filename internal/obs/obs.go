@@ -115,6 +115,19 @@ const (
 	HstQueueWaitSeconds   = "serve.queue_wait_seconds"   // histogram: admission-queue wait before a slot
 	HstCommitSeconds      = "serve.commit_seconds"       // histogram: session commit latency inside a job
 	HstCacheLookupSeconds = "serve.cache_lookup_seconds" // histogram: solution-cache lookup latency
+
+	// Multi-node solve cluster (internal/cluster). Unit-lifecycle
+	// counters accumulate in the dispatching job's registry (and so in
+	// the serve aggregates); prober counters live in the coordinator's
+	// own registry, exposed under {worker="coordinator"}.
+	CtrClusterUnits      = "cluster.units"           // work units dispatched to workers
+	CtrClusterReassigned = "cluster.reassigned"      // units reassigned after a worker failure
+	CtrClusterSteals     = "cluster.steals"          // straggler units duplicated onto another worker
+	CtrClusterRPCErrors  = "cluster.rpc_errors"      // worker RPC attempts that failed
+	CtrClusterEjections  = "cluster.ejections"       // workers ejected by the health prober
+	CtrClusterProbes     = "cluster.probes"          // worker health probes performed
+	GagClusterWorkers    = "cluster.workers_healthy" // gauge: workers currently accepting units
+	HstClusterUnitSecs   = "cluster.unit_seconds"    // histogram: work-unit round-trip latency
 )
 
 // InstrumentKind classifies a catalog instrument.
@@ -197,6 +210,14 @@ var catalog = []Instrument{
 	{HstQueueWaitSeconds, KindHistogram, "admission-queue wait in seconds"},
 	{HstCommitSeconds, KindHistogram, "session commit latency in seconds"},
 	{HstCacheLookupSeconds, KindHistogram, "solution-cache lookup latency in seconds"},
+	{CtrClusterUnits, KindCounter, "cluster work units dispatched to workers"},
+	{CtrClusterReassigned, KindCounter, "cluster units reassigned after a worker failure"},
+	{CtrClusterSteals, KindCounter, "cluster straggler units duplicated onto another worker"},
+	{CtrClusterRPCErrors, KindCounter, "cluster worker RPC attempts that failed"},
+	{CtrClusterEjections, KindCounter, "cluster workers ejected by the health prober"},
+	{CtrClusterProbes, KindCounter, "cluster worker health probes performed"},
+	{GagClusterWorkers, KindGauge, "cluster workers currently accepting units"},
+	{HstClusterUnitSecs, KindHistogram, "cluster work-unit round-trip latency in seconds"},
 }
 
 // Catalog returns the declared instrument set in documentation order.

@@ -170,6 +170,63 @@ func (rt *RequestTrace) Start(parent *Span, name string) *Span {
 	return sp
 }
 
+// AttachRemote grafts a snapshot of spans recorded on another node into
+// this trace under parent: the cross-node complement of CopyTrace. The
+// remote spans keep their own (deterministic) IDs and internal
+// parentage; only roots — spans whose parent is absent from the slice —
+// are re-parented onto parent's ID. Every grafted span receives
+// extraAttrs (e.g. worker="w1"), overriding same-key attrs from the
+// remote side. Seq numbering continues from this trace's counter, so
+// the grafted subtree sorts after everything recorded before the graft.
+// No-op on a nil trace.
+func (rt *RequestTrace) AttachRemote(parent *Span, spans []SpanSnapshot, extraAttrs map[string]string) {
+	if rt == nil || len(spans) == 0 {
+		return
+	}
+	local := make(map[string]bool, len(spans))
+	for _, ss := range spans {
+		local[ss.ID] = true
+	}
+	keys := make([]string, 0, len(extraAttrs))
+	for k := range extraAttrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, ss := range spans {
+		parentID := ss.Parent
+		if parentID == "" || !local[parentID] {
+			parentID = parent.ID()
+		}
+		sp := &Span{
+			rt:         rt,
+			id:         ss.ID,
+			parent:     parentID,
+			name:       ss.Name,
+			seq:        len(rt.spans),
+			start:      rt.start,
+			startNS:    ss.StartNS,
+			durationNS: ss.DurationNS,
+			ended:      ss.DurationNS >= 0,
+		}
+		akeys := make([]string, 0, len(ss.Attrs))
+		for k := range ss.Attrs {
+			if _, shadowed := extraAttrs[k]; !shadowed {
+				akeys = append(akeys, k)
+			}
+		}
+		sort.Strings(akeys)
+		for _, k := range akeys {
+			sp.attrs = append(sp.attrs, Attr{Key: k, Value: ss.Attrs[k]})
+		}
+		for _, k := range keys {
+			sp.attrs = append(sp.attrs, Attr{Key: k, Value: extraAttrs[k]})
+		}
+		rt.spans = append(rt.spans, sp)
+	}
+}
+
 // SpanSnapshot is the exported form of one span.
 type SpanSnapshot struct {
 	ID         string            `json:"id"`
@@ -368,6 +425,11 @@ type RequestDoc struct {
 	DurationNS int64       `json:"duration_ns"`
 	Spans      []*SpanNode `json:"spans"`
 }
+
+// Spans snapshots the record's trace flat, in seq order: the form a
+// cluster worker ships over RPC for the coordinator to graft with
+// AttachRemote.
+func (r RequestRecord) Spans() []SpanSnapshot { return r.rt.Snapshot() }
 
 // Doc snapshots the record's trace into its JSON form.
 func (r RequestRecord) Doc() RequestDoc {

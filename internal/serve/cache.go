@@ -32,6 +32,7 @@ import (
 
 	"incdes/internal/cache"
 	"incdes/internal/core"
+	"incdes/internal/model"
 	"incdes/internal/obs"
 )
 
@@ -55,10 +56,11 @@ type flightResult struct {
 // into the problem fingerprint.
 func (p SolveParams) cacheSpec() cache.Spec {
 	return cache.Spec{
-		Name:       p.Strategy,
-		SAIters:    p.SAIters,
-		SARestarts: p.SARestarts,
-		SASeed:     p.SASeed,
+		Name:          p.Strategy,
+		SAIters:       p.SAIters,
+		SARestarts:    p.SARestarts,
+		SASeed:        p.SASeed,
+		SAChainOffset: p.SAChainOffset,
 	}
 }
 
@@ -87,14 +89,14 @@ func (s *Server) serveHit(w http.ResponseWriter, r *http.Request, ent *solutionE
 // real solve under the flight's context, stores the result on success,
 // and waits for completion under the leader's own (request-bound)
 // context.
-func (s *Server) leaderWork(f *cache.Flight, j *job, p *core.Problem, frozen int, params SolveParams, key string) func(context.Context) (*SolutionDoc, error) {
+func (s *Server) leaderWork(f *cache.Flight, j *job, sys *model.System, p *core.Problem, frozen int, params SolveParams, key string) func(context.Context) (*SolutionDoc, error) {
 	return func(ctx context.Context) (*SolutionDoc, error) {
 		// The flight span brackets the coalesced solve in the leader's
 		// trace; its ID is published on the flight so follower spans can
 		// reference the leader's flight (single-flight linkage).
 		fctx, fspan := obs.StartSpan(ctx, "cache.flight")
 		f.SetNote(fspan.ID())
-		solve := s.solveWork(j, p, frozen, params)
+		solve := s.solveWork(j, sys, p, frozen, params)
 		go func() {
 			// The solve must run under the flight's context (so it survives
 			// the leader leaving) but record into the leader's trace.

@@ -27,15 +27,19 @@ const (
 // SolveParams are the per-request knobs of one solve, parsed from the
 // POST /solve query string.
 type SolveParams struct {
-	Strategy   string        // "ah", "mh", "sa" or "portfolio" (default "mh")
-	App        string        // current-application name; "" = the system's last
-	SAIters    int           // SA iterations per chain (0 = auto-size)
-	SARestarts int           // SA restart chains (0 = 1)
-	SASeed     int64         // SA seed (0 = strategy default)
-	Parallel   int           // evaluation workers (0 = server default)
-	Timeout    time.Duration // per-job cap (bounded by the server's JobTimeout)
-	Detach     bool          // return 202 immediately instead of waiting
-	NoCache    bool          // cache=off: bypass the solution cache for this request
+	Strategy   string // "ah", "mh", "sa" or "portfolio" (default "mh")
+	App        string // current-application name; "" = the system's last
+	SAIters    int    // SA iterations per chain (0 = auto-size)
+	SARestarts int    // SA restart chains (0 = 1)
+	SASeed     int64  // SA seed (0 = strategy default)
+	// SAChainOffset shifts the global SA chain index: a cluster
+	// coordinator sends sa-restarts=1&sa-chain-offset=k to run exactly
+	// chain k of a larger restart fan on a worker (0 for plain requests).
+	SAChainOffset int
+	Parallel      int           // evaluation workers (0 = server default)
+	Timeout       time.Duration // per-job cap (bounded by the server's JobTimeout)
+	Detach        bool          // return 202 immediately instead of waiting
+	NoCache       bool          // cache=off: bypass the solution cache for this request
 }
 
 // strategy resolves the params into a core.Strategy.
@@ -61,6 +65,7 @@ func (p SolveParams) saOptions() core.SAOptions {
 	opts := core.DefaultSAOptions()
 	opts.Iterations = p.SAIters
 	opts.Restarts = p.SARestarts
+	opts.ChainOffset = p.SAChainOffset
 	if p.SASeed != 0 {
 		opts.Seed = p.SASeed
 	}
@@ -226,8 +231,21 @@ type job struct {
 	status string
 	doc    *SolutionDoc
 	commit *CommitInfo // set by session-commit work before finish
+	worker string      // workers that produced a dispatched solve ("" = local)
 	err    error
 	done   chan struct{}
+}
+
+func (j *job) setWorker(w string) {
+	j.mu.Lock()
+	j.worker = w
+	j.mu.Unlock()
+}
+
+func (j *job) workerTag() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.worker
 }
 
 func (j *job) setCommit(c *CommitInfo) {

@@ -106,6 +106,14 @@ type Config struct {
 	SlowRequestLog time.Duration
 	// SlowLogger receives slow-request lines (nil = log.Default()).
 	SlowLogger *log.Logger
+	// Dispatcher, when set, is offered every one-shot solve; requests it
+	// claims run on the cluster instead of calling core.Solve locally
+	// (see dispatch.go). nil means all solves run locally.
+	Dispatcher Dispatcher
+	// MetricsExtra, when set, is called at the end of every /metrics
+	// scrape with the assembled collection — the cluster coordinator
+	// appends per-worker rows here.
+	MetricsExtra func(*promtext.Collection)
 }
 
 func (c Config) withDefaults() Config {
@@ -280,6 +288,9 @@ type JobStatusDoc struct {
 	Commit   *CommitInfo   `json:"commit,omitempty"`
 	Solution *SolutionDoc  `json:"solution,omitempty"`
 	Stats    *obs.Snapshot `json:"stats,omitempty"`
+	// Worker names the cluster worker(s) that executed a dispatched
+	// solve, comma-joined in unit order; empty for local solves.
+	Worker string `json:"worker,omitempty"`
 	// RequestID and Spans tie a (typically detached) job back to the
 	// request trace that submitted it: the correlation ID plus a flat
 	// per-span duration digest once the job is terminal.
@@ -289,7 +300,7 @@ type JobStatusDoc struct {
 
 func (s *Server) statusDoc(j *job) *JobStatusDoc {
 	status, doc, err := j.snapshot()
-	out := &JobStatusDoc{ID: j.id, Status: status, Strategy: j.strategy, Commit: j.commitInfo(), Solution: doc}
+	out := &JobStatusDoc{ID: j.id, Status: status, Strategy: j.strategy, Commit: j.commitInfo(), Solution: doc, Worker: j.workerTag()}
 	if err != nil {
 		out.Error = err.Error()
 	}
@@ -394,7 +405,8 @@ func parseSolveParams(r *http.Request) (SolveParams, error) {
 		return nil
 	}
 	for name, dst := range map[string]*int{
-		"sa-iters": &p.SAIters, "sa-restarts": &p.SARestarts, "parallel": &p.Parallel,
+		"sa-iters": &p.SAIters, "sa-restarts": &p.SARestarts,
+		"sa-chain-offset": &p.SAChainOffset, "parallel": &p.Parallel,
 	} {
 		if err := intq(name, dst); err != nil {
 			return p, err
@@ -522,7 +534,33 @@ func (s *Server) run(ctx context.Context, j *job, requested time.Duration, work 
 // them in arrival order), so each counts as one examined design
 // alternative — the per-request base-reconstruction cost that versioned
 // sessions amortize across commits.
-func (s *Server) solveWork(j *job, p *core.Problem, frozen int, params SolveParams) func(context.Context) (*SolutionDoc, error) {
+//
+// When a cluster dispatcher claims the request, the closure forwards the
+// posted system instead of solving locally; core.Solve determinism plus
+// the dispatcher's index-ordered reduce make the returned document
+// byte-identical either way, so caching and single-flight wrap both
+// paths without distinction.
+func (s *Server) solveWork(j *job, sys *model.System, p *core.Problem, frozen int, params SolveParams) func(context.Context) (*SolutionDoc, error) {
+	if d := s.cfg.Dispatcher; d != nil && d.CanDispatch(params) {
+		return func(ctx context.Context) (*SolutionDoc, error) {
+			if frozen > 0 {
+				j.reg.Counter(obs.CtrEvaluations).Add(int64(frozen))
+			}
+			t0 := time.Now()
+			res, err := d.Dispatch(ctx, &DispatchRequest{
+				System:   sys,
+				Params:   params,
+				Registry: j.reg,
+				Tracer:   j.buf,
+			})
+			j.reg.Histogram(obs.HstSolveSeconds).ObserveSince(t0)
+			if err != nil {
+				return nil, err
+			}
+			j.setWorker(res.Worker)
+			return res.Doc, nil
+		}
+	}
 	return func(ctx context.Context) (*SolutionDoc, error) {
 		strat, err := params.strategy() // validated at submit; cannot fail here
 		if err != nil {
@@ -686,9 +724,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 		w.Header().Set(cacheHeader, "miss")
 		s.global.Counter(obs.CtrSolveCacheMisses).Inc()
-		work = s.leaderWork(f, j, p, len(sys.Apps)-1, params, key)
+		work = s.leaderWork(f, j, sys, p, len(sys.Apps)-1, params, key)
 	} else {
-		work = s.solveWork(j, p, len(sys.Apps)-1, params)
+		work = s.solveWork(j, sys, p, len(sys.Apps)-1, params)
 	}
 	if params.Detach {
 		// Detached jobs belong to the server, not the request: the job
@@ -704,6 +742,9 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// disconnect cancels the solve and the engine reports the best
 	// design found so far, marked interrupted.
 	s.run(r.Context(), j, params.Timeout, work)
+	if wt := j.workerTag(); wt != "" {
+		w.Header().Set(workerHeader, wt)
+	}
 	doc := s.statusDoc(j)
 	if doc.Status == StatusFailed {
 		writeJSON(w, http.StatusUnprocessableEntity, doc)
@@ -866,6 +907,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	c.AddGauge("solves.in_flight", "solves currently running", nil, float64(s.running.Load()))
 	c.AddGauge("solves.queued", "solves waiting for a worker slot", nil, float64(s.queued.Load()))
 
+	// Cluster hook: the coordinator appends per-worker rows and the
+	// cross-worker aggregate here.
+	if s.cfg.MetricsExtra != nil {
+		s.cfg.MetricsExtra(c)
+	}
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	c.Write(w)
 }
@@ -875,12 +922,21 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
+// handleReadyz serves the readiness probe. The status-code contract is
+// the load balancer's signal (200 ready, 503 draining); the JSON body
+// adds the load signal a cluster coordinator's prober consumes for
+// load-aware work assignment.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	doc := ReadyDoc{
+		Status:     "ready",
+		QueueDepth: s.queued.Load(),
+		InFlight:   s.running.Load(),
+	}
 	if !s.ready.Load() {
-		w.WriteHeader(http.StatusServiceUnavailable)
-		fmt.Fprintln(w, "draining")
+		doc.Status = "draining"
+		doc.Draining = true
+		writeJSON(w, http.StatusServiceUnavailable, doc)
 		return
 	}
-	fmt.Fprintln(w, "ready")
+	writeJSON(w, http.StatusOK, doc)
 }
