@@ -8,6 +8,7 @@
 //	incbench -fig ablation   # extra: MH design-choice ablation
 //	incbench -fig relaxed    # extra: modification cost of the next increment
 //	incbench -fig portfolio  # extra: strategy-portfolio racer vs best single
+//	incbench -fig multicluster # extra: deviation sweep over 1..3 TDMA clusters
 //	incbench -fig all
 //
 // The -quick flag shrinks the sweep for a fast smoke run; -cases and
@@ -39,7 +40,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: deviation, runtime, futurefit, ablation, relaxed, criteria, portfolio, all")
+	fig := flag.String("fig", "all", "figure to regenerate: deviation, runtime, futurefit, ablation, relaxed, criteria, portfolio, multicluster, all")
 	cases := flag.Int("cases", 3, "test cases per sweep point")
 	existing := flag.Int("existing", 400, "processes in existing applications")
 	sizes := flag.String("sizes", "", "comma-separated current-application sizes (default paper sweep)")
@@ -110,6 +111,15 @@ func main() {
 		devRes, err = eval.RunDeviation(ctx, o)
 		return devRes, err
 	}
+	var mcRes *eval.MulticlusterResult
+	multicluster := func() (*eval.MulticlusterResult, error) {
+		if mcRes != nil {
+			return mcRes, nil
+		}
+		var err error
+		mcRes, err = eval.RunMulticluster(ctx, o)
+		return mcRes, err
+	}
 
 	run := func(name string) error {
 		switch name {
@@ -157,6 +167,13 @@ func main() {
 			}
 			fmt.Println("portfolio racer vs the best single strategy")
 			fmt.Print(res.Table())
+		case "multicluster":
+			res, err := multicluster()
+			if err != nil {
+				return err
+			}
+			fmt.Println("deviation sweep over multi-cluster platforms (buses chained by gateways)")
+			fmt.Print(res.Table())
 		default:
 			return fmt.Errorf("unknown figure %q", name)
 		}
@@ -170,9 +187,9 @@ func main() {
 	}
 	if *benchPath != "" {
 		switch *fig {
-		case "deviation", "runtime", "all":
+		case "deviation", "runtime", "all", "multicluster":
 		default:
-			fmt.Fprintf(os.Stderr, "incbench: -bench-out needs the deviation sweep; use -fig deviation, runtime or all (got %q)\n", *fig)
+			fmt.Fprintf(os.Stderr, "incbench: -bench-out needs a timed sweep; use -fig deviation, runtime, multicluster or all (got %q)\n", *fig)
 			os.Exit(2)
 		}
 	}
@@ -183,12 +200,22 @@ func main() {
 		}
 	}
 	if *benchPath != "" {
-		res, err := deviation() // cached: the sweep above already ran it
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "incbench:", err)
-			os.Exit(1)
+		var rep *bench.Report
+		if *fig == "multicluster" {
+			res, err := multicluster() // cached: the sweep above already ran it
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "incbench:", err)
+				os.Exit(1)
+			}
+			rep = bench.FromSweep(res.DevRows(), "multicluster", time.Since(start), *seed, *quick)
+		} else {
+			res, err := deviation() // cached: the sweep above already ran it
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "incbench:", err)
+				os.Exit(1)
+			}
+			rep = bench.FromDeviation(res, time.Since(start), *seed, *quick)
 		}
-		rep := bench.FromDeviation(res, time.Since(start), *seed, *quick)
 		if err := rep.WriteFile(*benchPath); err != nil {
 			fmt.Fprintln(os.Stderr, "incbench:", err)
 			os.Exit(1)

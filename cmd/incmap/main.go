@@ -2,7 +2,8 @@
 //
 // Usage:
 //
-//	incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
+//	incmap generate [-nodes N] [-clusters K] [-inter-frac F]
+//	                [-existing P] [-current P] [-seed S] [-o file]
 //	incmap inspect  [-sys file]
 //	incmap map      [-sys file] [-strategy ah|mh|sa|portfolio] [-gantt] [-medl]
 //	                [-analyze] [-export file.json] [-export-bin file.img]
@@ -79,7 +80,8 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  incmap generate [-nodes N] [-existing P] [-current P] [-seed S] [-o file]
+  incmap generate [-nodes N] [-clusters K] [-inter-frac F]
+                  [-existing P] [-current P] [-seed S] [-o file]
   incmap inspect  [-sys file]
   incmap map      [-sys file] [-strategy ah|mh|sa|portfolio] [-gantt] [-medl]
                   [-parallel N] [-timeout D] [-sa-restarts K]
@@ -92,7 +94,9 @@ func usage() {
 
 func cmdGenerate(args []string) error {
 	fs := flag.NewFlagSet("generate", flag.ExitOnError)
-	nodes := fs.Int("nodes", 10, "number of processing nodes")
+	nodes := fs.Int("nodes", 10, "number of processing nodes (per cluster with -clusters)")
+	clusters := fs.Int("clusters", 1, "TDMA clusters; >1 chains buses with gateway nodes")
+	interFrac := fs.Float64("inter-frac", 0.2, "with -clusters: fraction of processes homed on a neighboring cluster")
 	existing := fs.Int("existing", 100, "processes in existing applications")
 	current := fs.Int("current", 40, "processes in the current application")
 	seed := fs.Int64("seed", 1, "generator seed")
@@ -101,6 +105,9 @@ func cmdGenerate(args []string) error {
 
 	cfg := gen.Default()
 	cfg.Nodes = *nodes
+	if *clusters > 1 {
+		cfg = gen.Multicluster(*clusters, *nodes, *interFrac)
+	}
 	tc, err := gen.MakeTestCase(cfg, *seed, *existing, *current)
 	if err != nil {
 		return err
@@ -135,9 +142,17 @@ func cmdInspect(args []string) error {
 	if err != nil {
 		return err
 	}
-	bus := sys.Arch.Bus
-	fmt.Printf("architecture: %d nodes, TDMA round %v (%d slots)\n",
-		len(sys.Arch.Nodes), bus.RoundLen(), bus.NumSlots())
+	if len(sys.Arch.Buses) == 1 {
+		bus := sys.Arch.Buses[0]
+		fmt.Printf("architecture: %d nodes, TDMA round %v (%d slots)\n",
+			len(sys.Arch.Nodes), bus.RoundLen(), bus.NumSlots())
+	} else {
+		fmt.Printf("architecture: %d nodes, %d TDMA buses, %d gateways\n",
+			len(sys.Arch.Nodes), len(sys.Arch.Buses), len(sys.Arch.Gateways()))
+		for _, bus := range sys.Arch.Buses {
+			fmt.Printf("  bus %d: round %v (%d slots)\n", bus.ID, bus.RoundLen(), bus.NumSlots())
+		}
+	}
 	fmt.Printf("hyperperiod:  %v\n", sys.Hyperperiod())
 	for _, a := range sys.Apps {
 		fmt.Printf("application %q: %d graphs, %d processes, %d messages\n",
@@ -502,17 +517,24 @@ func cmdMap(args []string) error {
 		for _, e := range sol.State.MsgEntries() {
 			placements = append(placements, ttp.Placement{
 				Msg: e.Msg, Occ: e.Occ, Round: e.Round, Slot: e.Slot, Bytes: e.Bytes,
+				Bus: e.Bus, Hop: e.Hop,
 			})
 		}
-		entries, err := ttp.BuildMEDL(sys.Arch.Bus, placements)
+		entries, err := ttp.BuildMEDLAll(sys.Arch.Buses, placements)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("\nMEDL (%d entries):\n", len(entries))
+		multi := len(sys.Arch.Buses) > 1
 		for i, e := range entries {
 			if i == 40 {
 				fmt.Printf("  … %d more\n", len(entries)-40)
 				break
+			}
+			if multi {
+				fmt.Printf("  bus %d round %3d slot %2d off %2dB: msg %4d occ %d hop %d (%dB) node %d [%v,%v)\n",
+					e.Bus, e.Round, e.Slot, e.Offset, e.Msg, e.Occ, e.Hop, e.Bytes, e.Owner, e.Start, e.End)
+				continue
 			}
 			fmt.Printf("  round %3d slot %2d off %2dB: msg %4d occ %d (%dB) node %d [%v,%v)\n",
 				e.Round, e.Slot, e.Offset, e.Msg, e.Occ, e.Bytes, e.Owner, e.Start, e.End)

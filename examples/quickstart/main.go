@@ -95,7 +95,7 @@ func main() {
 			Msg: e.Msg, Occ: e.Occ, Round: e.Round, Slot: e.Slot, Bytes: e.Bytes,
 		})
 	}
-	medl, err := ttp.BuildMEDL(sys.Arch.Bus, placements)
+	medl, err := ttp.BuildMEDL(sys.Arch.Buses[0], placements)
 	if err != nil {
 		log.Fatal(err)
 	}

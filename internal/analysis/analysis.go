@@ -44,9 +44,13 @@ type Report struct {
 	Horizon tm.Time
 	// NodeUtil is the busy fraction (0..1) of each node over the horizon.
 	NodeUtil map[model.NodeID]float64
-	// BusUtil is the fraction of bus slot capacity (bytes) in use.
+	// BusUtil is the fraction of bus slot capacity (bytes) in use,
+	// aggregated over every bus.
 	BusUtil float64
-	Apps    []AppReport
+	// PerBusUtil is the used capacity fraction of each bus in bus-ID
+	// order (one entry for single-bus architectures, equal to BusUtil).
+	PerBusUtil []float64
+	Apps       []AppReport
 }
 
 // Analyze computes the report for the given applications (typically every
@@ -62,9 +66,18 @@ func Analyze(st *sched.State, apps ...*model.Application) (*Report, error) {
 	}
 
 	var capBytes, freeBytes int
-	for _, o := range st.BusState().Occurrences() {
-		capBytes += st.System().Arch.Bus.SlotBytes[o.Slot]
-		freeBytes += o.FreeBytes
+	rep.PerBusUtil = make([]float64, st.NumBuses())
+	for bi := 0; bi < st.NumBuses(); bi++ {
+		var busCap, busFree int
+		for _, o := range st.BusStateAt(bi).Occurrences() {
+			busCap += st.System().Arch.Buses[bi].SlotBytes[o.Slot]
+			busFree += o.FreeBytes
+		}
+		if busCap > 0 {
+			rep.PerBusUtil[bi] = float64(busCap-busFree) / float64(busCap)
+		}
+		capBytes += busCap
+		freeBytes += busFree
 	}
 	if capBytes > 0 {
 		rep.BusUtil = float64(capBytes-freeBytes) / float64(capBytes)

@@ -63,9 +63,16 @@ type Report struct {
 // one point per (size, strategy). elapsed is the whole sweep's wall
 // time; seed and quick describe how the sweep was configured.
 func FromDeviation(res *eval.DeviationResult, elapsed time.Duration, seed int64, quick bool) *Report {
+	return FromSweep(res.Rows, "deviation", elapsed, seed, quick)
+}
+
+// FromSweep converts any DevRow-shaped sweep into a bench report under
+// the given figure name (the multicluster sweep reuses this with Size
+// carrying the cluster count).
+func FromSweep(rows []eval.DevRow, fig string, elapsed time.Duration, seed int64, quick bool) *Report {
 	r := &Report{
 		SchemaVersion: SchemaVersion,
-		Fig:           "deviation",
+		Fig:           fig,
 		GoVersion:     runtime.Version(),
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Seed:          seed,
@@ -73,7 +80,7 @@ func FromDeviation(res *eval.DeviationResult, elapsed time.Duration, seed int64,
 		WallMS:        float64(elapsed) / float64(time.Millisecond),
 		PeakRSSBytes:  PeakRSS(),
 	}
-	for _, row := range res.Rows {
+	for _, row := range rows {
 		for _, s := range []struct {
 			name  string
 			t     time.Duration

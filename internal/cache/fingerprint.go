@@ -30,8 +30,11 @@ import (
 // FingerprintSchemaVersion is hashed into every fingerprint. Bump it
 // whenever the canonical serialization below changes shape, so caches
 // populated by older revisions can never serve a differently-encoded
-// request.
-const FingerprintSchemaVersion = 2
+// request. Version 3 extended the architecture encoding to multi-cluster
+// platforms (bus count, per-bus identity and slot tables — which also
+// cover bus attachment and gateway placement, since both are derived
+// from slot ownership).
+const FingerprintSchemaVersion = 3
 
 // Spec is the canonical strategy identity of a request: the strategy
 // name plus every tuning knob the HTTP and CLI surfaces expose that can
@@ -170,14 +173,20 @@ func (h *hasher) system(sys *model.System) {
 		h.i64(int64(n.ID))
 		h.str(n.Name)
 	}
-	bus := arch.Bus
-	h.i64(int64(len(bus.SlotOrder)))
-	for i, owner := range bus.SlotOrder {
-		h.i64(int64(owner))
-		h.i64(int64(bus.SlotBytes[i]))
+	// Buses, in ID order. Slot ownership is hashed per bus, which covers
+	// node-to-bus attachment and gateway placement: both are functions of
+	// which nodes own slots on which buses.
+	h.i64(int64(len(arch.Buses)))
+	for _, bus := range arch.Buses {
+		h.i64(int64(bus.ID))
+		h.i64(int64(len(bus.SlotOrder)))
+		for i, owner := range bus.SlotOrder {
+			h.i64(int64(owner))
+			h.i64(int64(bus.SlotBytes[i]))
+		}
+		h.i64(int64(bus.ByteTime))
+		h.i64(int64(bus.SlotOverhead))
 	}
-	h.i64(int64(bus.ByteTime))
-	h.i64(int64(bus.SlotOverhead))
 	h.i64(int64(len(sys.Apps)))
 	for _, a := range sys.Apps {
 		h.app(a)

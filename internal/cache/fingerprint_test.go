@@ -48,6 +48,42 @@ func buildSystem(t testing.TB, p sysParams) *model.System {
 	return sys
 }
 
+// buildClusteredSystem is buildSystem with a fourth node and a second
+// TDMA bus. Callers vary which nodes own slots on which bus, so the
+// sensitivity test can probe that bus attachment, gateway placement and
+// bus topology all reach the fingerprint.
+func buildClusteredSystem(t testing.TB, bus0, bus1 []model.NodeID) *model.System {
+	t.Helper()
+	p := defaultSysParams()
+	b := model.NewBuilder()
+	for i := 0; i < p.nodes+1; i++ {
+		b.Node("N" + string(rune('0'+i)))
+	}
+	caps := func(n int) []int {
+		c := make([]int, n)
+		for i := range c {
+			c[i] = p.slotBytes
+		}
+		return c
+	}
+	b.Bus(bus0, caps(len(bus0)), 1, 2)
+	b.AddBus(bus1, caps(len(bus1)), 1, 2)
+	g := b.App(p.appName).Graph(p.appName+"-g", p.period, p.period)
+	var prev model.ProcID
+	for i := 0; i < p.procs; i++ {
+		pr := g.UniformProc(p.appName+"-p"+string(rune('0'+i)), p.wcet)
+		if i > 0 {
+			g.Msg(prev, pr, p.msgBytes)
+		}
+		prev = pr
+	}
+	sys, err := b.System()
+	if err != nil {
+		t.Fatalf("building clustered system: %v", err)
+	}
+	return sys
+}
+
 func baseProfile() *future.Profile {
 	return &future.Profile{
 		Tmin: 30, TNeed: 10, BNeedBytes: 16,
@@ -248,13 +284,41 @@ func TestFingerprintSensitivity(t *testing.T) {
 		},
 		"sys-byte-time": func(t *testing.T) Request {
 			r := baseRequest(t)
-			r.System.Arch.Bus.ByteTime = 2
+			r.System.Arch.Buses[0].ByteTime = 2
 			return r
 		},
 		"sys-slot-order": func(t *testing.T) Request {
 			r := baseRequest(t)
-			so := r.System.Arch.Bus.SlotOrder
+			so := r.System.Arch.Buses[0].SlotOrder
 			so[0], so[1] = so[1], so[0]
+			return r
+		},
+		// Multi-cluster topology: adding a second bus, moving the gateway,
+		// re-attaching a node, and mirroring which bus carries which slot
+		// table must all be distinct — slot ownership is what encodes bus
+		// attachment and gateway placement, so each reshape moves the hash.
+		"sys-second-bus": func(t *testing.T) Request {
+			r := baseRequest(t)
+			r.System = buildClusteredSystem(t,
+				[]model.NodeID{0, 1, 2}, []model.NodeID{2, 3})
+			return r
+		},
+		"sys-gateway-moved": func(t *testing.T) Request {
+			r := baseRequest(t)
+			r.System = buildClusteredSystem(t,
+				[]model.NodeID{0, 1, 2}, []model.NodeID{1, 3})
+			return r
+		},
+		"sys-bus-attachment": func(t *testing.T) Request {
+			r := baseRequest(t)
+			r.System = buildClusteredSystem(t,
+				[]model.NodeID{0, 2}, []model.NodeID{1, 2, 3})
+			return r
+		},
+		"sys-bus-swapped": func(t *testing.T) Request {
+			r := baseRequest(t)
+			r.System = buildClusteredSystem(t,
+				[]model.NodeID{2, 3}, []model.NodeID{0, 1, 2})
 			return r
 		},
 	}

@@ -276,12 +276,12 @@ func (e *Engine) evaluateTxn(mapping model.Mapping, hints sched.Hints) cacheEntr
 		scr = &evalScratch{st: e.p.Base.Clone(), inc: e.baseline.Evaluator()}
 		if e.statsOn {
 			scr.st.SetStats(e.schedStats)
-			scr.st.BusState().SetStats(e.ttpStats)
+			scr.st.SetBusStats(e.ttpStats)
 		} else {
 			// The base may carry instruments; a worker copy must not
 			// report into them unless this Solve's observer asked for it.
 			scr.st.SetStats(sched.Stats{})
-			scr.st.BusState().SetStats(ttp.Stats{})
+			scr.st.SetBusStats(ttp.Stats{})
 		}
 	}
 	txn := scr.st.Begin()
@@ -319,7 +319,7 @@ func (e *Engine) evaluateRebuild(mapping model.Mapping, hints sched.Hints) cache
 		// fresh scratch state (first Get) starts uninstrumented; attaching
 		// every time is two field assignments and keeps the invariant local.
 		scr.st.SetStats(e.schedStats)
-		scr.st.BusState().SetStats(e.ttpStats)
+		scr.st.SetBusStats(e.ttpStats)
 	}
 	var ent cacheEntry
 	if err := scr.st.ScheduleApp(e.p.Current, mapping, hints); err == nil {

@@ -554,26 +554,29 @@ func targetOffsets(st *sched.State, node model.NodeID, wcet, period, tmin tm.Tim
 	return offs
 }
 
-// msgCandidate is one message of the current design with its bus context.
+// msgCandidate is one message of the current design with its bus context:
+// the hop (sender, bus) sitting in the most congested slot occurrence.
 type msgCandidate struct {
 	id     model.MsgID
 	bytes  int
 	sender model.NodeID
+	bus    model.BusID
 	free   int // free bytes left in its current slot occurrence
 }
 
 // msgCandidates returns the messages in the most congested slot
 // occurrences: moving them out has the highest potential to recover
-// contiguous bus slack.
+// contiguous bus slack. Every hop of a multi-hop occurrence competes;
+// the candidate records the hop whose slot occurrence is fullest.
 func msgCandidates(st *sched.State, app *model.Application, k int) []msgCandidate {
 	seen := map[model.MsgID]msgCandidate{}
 	for _, e := range st.MsgEntries() {
 		if e.App != app.ID {
 			continue
 		}
-		free := st.BusState().Free(e.Round, e.Slot)
+		free := st.BusStateAt(int(e.Bus)).Free(e.Round, e.Slot)
 		if cur, ok := seen[e.Msg]; !ok || free < cur.free {
-			seen[e.Msg] = msgCandidate{id: e.Msg, bytes: e.Bytes, sender: e.Sender, free: free}
+			seen[e.Msg] = msgCandidate{id: e.Msg, bytes: e.Bytes, sender: e.Sender, bus: e.Bus, free: free}
 		}
 	}
 	cands := make([]msgCandidate, 0, len(seen))
@@ -594,9 +597,9 @@ func msgCandidates(st *sched.State, app *model.Application, k int) []msgCandidat
 
 // msgTargetOffsets enumerates alternative slot occurrences for a message,
 // as slot-start offsets relative to the graph release: the emptiest slots
-// of the sender's node, plus the ASAP position.
+// of the sender's node on the candidate hop's bus, plus the ASAP position.
 func msgTargetOffsets(st *sched.State, mc msgCandidate, period tm.Time, k int) []tm.Time {
-	bus := st.BusState()
+	bus := st.BusStateAt(int(mc.bus))
 	occs := bus.Occurrences()
 	type occ struct {
 		start tm.Time

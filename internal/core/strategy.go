@@ -196,12 +196,18 @@ func Solve(ctx context.Context, p *Problem, opts Options) (*Solution, error) {
 	sol.Evaluations = int(eng.Evaluations())
 	sol.CacheHits = int(eng.CacheHits())
 	if reg := opts.Observer.Registry(); reg != nil && sol.State != nil {
-		// Final-design TTP slot occupancy: how much bus headroom the
-		// chosen design leaves for future applications.
-		oc := sol.State.BusState().Occupancy()
-		reg.Gauge(obs.GagTTPUsedBytes).Set(int64(oc.UsedBytes))
-		reg.Gauge(obs.GagTTPCapBytes).Set(int64(oc.CapacityBytes))
-		reg.Gauge(obs.GagTTPUsedSlots).Set(int64(oc.OccupiedSlots))
+		// Final-design TTP slot occupancy, summed over every bus: how much
+		// bus headroom the chosen design leaves for future applications.
+		var used, capacity, slots int64
+		for i := 0; i < sol.State.NumBuses(); i++ {
+			oc := sol.State.BusStateAt(i).Occupancy()
+			used += int64(oc.UsedBytes)
+			capacity += int64(oc.CapacityBytes)
+			slots += int64(oc.OccupiedSlots)
+		}
+		reg.Gauge(obs.GagTTPUsedBytes).Set(used)
+		reg.Gauge(obs.GagTTPCapBytes).Set(capacity)
+		reg.Gauge(obs.GagTTPUsedSlots).Set(slots)
 	}
 	span.SetAttr("evaluations", strconv.Itoa(sol.Evaluations))
 	span.End()

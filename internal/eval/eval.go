@@ -11,6 +11,8 @@
 //     application was placed by AH versus MH.
 //   - RunAblation — extra (not in the paper): MH with its design choices
 //     disabled one at a time.
+//   - RunMulticluster — extra (beyond the paper): the deviation sweep
+//     over multi-cluster platforms, 1–3 TDMA buses chained by gateways.
 package eval
 
 import (

@@ -1,0 +1,175 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"incdes/internal/core"
+	"incdes/internal/gen"
+	"incdes/internal/metrics"
+	"incdes/internal/sched"
+	"incdes/internal/textplot"
+)
+
+// MCRow aggregates one sweep point of the multi-cluster experiment. It
+// embeds the same per-strategy aggregates as DevRow (Size carries the
+// cluster count) plus the routing profile of the solved designs.
+type MCRow struct {
+	DevRow
+	// Clusters is the platform's bus count at this point (same value as
+	// Size; kept explicit so the table reads unambiguously).
+	Clusters int
+	// GatewayHops is the average number of gateway-forwarded MEDL
+	// entries (hop > 0) in the MH design: how much of the traffic had to
+	// cross cluster boundaries.
+	GatewayHops float64
+}
+
+// MulticlusterResult is the outcome of RunMulticluster.
+type MulticlusterResult struct {
+	Rows []MCRow
+}
+
+// RunMulticluster generalizes the deviation sweep from the paper's
+// single-bus platform to multi-cluster architectures: the swept axis is
+// the number of TDMA buses (1, 2, 3 by default) at a fixed current-
+// application size, with o.Config.Nodes nodes per cluster, one gateway
+// per adjacent-bus link and 20% of the processes homed on a neighboring
+// cluster. The 1-cluster point runs the exact single-bus generator, so
+// the sweep doubles as a regression anchor for the classic family.
+func RunMulticluster(ctx context.Context, o Options) (*MulticlusterResult, error) {
+	o = o.withDefaults()
+	clusters := []int{1, 2, 3}
+	size := o.Sizes[0]
+	res := &MulticlusterResult{}
+	for _, k := range clusters {
+		cfg := o.Config
+		if k > 1 {
+			cfg.Clusters = k
+			cfg.GatewaysPerLink = 1
+			cfg.InterClusterFrac = 0.2
+		}
+		row := MCRow{DevRow: DevRow{Size: k}, Clusters: k}
+		type caseOut struct {
+			ah, mh, sa *core.Solution
+			hops       int
+		}
+		outs := make([]caseOut, o.Cases)
+		k := k
+		err := o.forEachCase(ctx, func(c int) error {
+			tc, err := gen.MakeTestCase(cfg, o.caseSeed(1000+k, c), o.Existing, size)
+			if err != nil {
+				return fmt.Errorf("eval: generating %d-cluster case %d: %w", k, c, err)
+			}
+			p, err := core.NewProblem(tc.Sys, tc.Base, tc.Current, tc.Profile,
+				metrics.DefaultWeights(tc.Profile))
+			if err != nil {
+				return err
+			}
+			ah, err := o.solve(ctx, p, core.AH)
+			if err != nil {
+				return fmt.Errorf("eval: AH on %d clusters case %d: %w", k, c, err)
+			}
+			mh, err := o.solve(ctx, p, core.MHWith(o.MHOptions))
+			if err != nil {
+				return fmt.Errorf("eval: MH on %d clusters case %d: %w", k, c, err)
+			}
+			sa, err := o.solve(ctx, p, core.SAWith(o.SAOptions))
+			if err != nil {
+				return fmt.Errorf("eval: SA on %d clusters case %d: %w", k, c, err)
+			}
+			hops := gatewayHopCount(mh.State)
+			outs[c] = caseOut{ah: ah, mh: mh, sa: sa, hops: hops}
+			o.logf("%d clusters case %d: AH %.1f MH %.1f SA %.1f (%d gateway hops)",
+				k, c, ah.Objective(), mh.Objective(), sa.Objective(), hops)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, out := range outs {
+			ah, mh, sa := out.ah, out.mh, out.sa
+			ref := min3(ah.Objective(), mh.Objective(), sa.Objective())
+			row.Cases++
+			row.AHObj += ah.Objective()
+			row.MHObj += mh.Objective()
+			row.SAObj += sa.Objective()
+			row.AHDev += ah.Objective() - ref
+			row.MHDev += mh.Objective() - ref
+			row.SADev += sa.Objective() - ref
+			row.AHTime += ah.Elapsed
+			row.MHTime += mh.Elapsed
+			row.SATime += sa.Elapsed
+			row.AHEvals += float64(ah.Evaluations)
+			row.MHEvals += float64(mh.Evaluations)
+			row.SAEvals += float64(sa.Evaluations)
+			row.AHHits += float64(ah.CacheHits)
+			row.MHHits += float64(mh.CacheHits)
+			row.SAHits += float64(sa.CacheHits)
+			row.GatewayHops += float64(out.hops)
+		}
+		n := float64(row.Cases)
+		row.AHObj /= n
+		row.MHObj /= n
+		row.SAObj /= n
+		row.AHDev /= n
+		row.MHDev /= n
+		row.SADev /= n
+		row.AHTime = time.Duration(float64(row.AHTime) / n)
+		row.MHTime = time.Duration(float64(row.MHTime) / n)
+		row.SATime = time.Duration(float64(row.SATime) / n)
+		row.AHEvals /= n
+		row.MHEvals /= n
+		row.SAEvals /= n
+		row.AHHits /= n
+		row.MHHits /= n
+		row.SAHits /= n
+		row.GatewayHops /= n
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// gatewayHopCount counts the gateway-forwarded message entries (hop >
+// 0) of a schedule: the share of the traffic that crossed a cluster
+// boundary.
+func gatewayHopCount(st *sched.State) int {
+	hops := 0
+	for _, e := range st.MsgEntries() {
+		if e.Hop > 0 {
+			hops++
+		}
+	}
+	return hops
+}
+
+// DevRows adapts the sweep for the bench report (one point per cluster
+// count and strategy, keyed by Size = clusters).
+func (r *MulticlusterResult) DevRows() []DevRow {
+	rows := make([]DevRow, len(r.Rows))
+	for i, row := range r.Rows {
+		rows[i] = row.DevRow
+	}
+	return rows
+}
+
+// Table renders the numeric results, one column per cluster count.
+func (r *MulticlusterResult) Table() string {
+	xs := make([]string, len(r.Rows))
+	for i, row := range r.Rows {
+		xs[i] = fmt.Sprint(row.Clusters)
+	}
+	series := []textplot.Series{
+		{Name: "AH dev"}, {Name: "MH dev"}, {Name: "SA dev"},
+		{Name: "MH ms"}, {Name: "gw hops"},
+	}
+	for _, row := range r.Rows {
+		series[0].Values = append(series[0].Values, row.AHDev)
+		series[1].Values = append(series[1].Values, row.MHDev)
+		series[2].Values = append(series[2].Values, row.SADev)
+		series[3].Values = append(series[3].Values, row.MHTime.Seconds()*1000)
+		series[4].Values = append(series[4].Values, row.GatewayHops)
+	}
+	return textplot.Table("clusters", xs, series, "%.1f")
+}

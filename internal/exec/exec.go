@@ -131,15 +131,23 @@ func Run(d *export.Design, sys *model.System, apps []*model.Application, opts Op
 		}
 	}
 
-	// Frames: the producer must have finished by the slot start.
-	bus := sys.Arch.Bus
+	// Frames: the producer must have finished by the slot start. Only the
+	// first hop of a chain depends on the producer; gateway hops (Hop > 0)
+	// are gated by the statically verified previous hop, not by process
+	// execution, so an overrun cannot make them stale.
 	for _, me := range d.MEDL {
 		res.Frames++
 		m, ok := ix.Msg[me.Msg]
 		if !ok {
 			return nil, fmt.Errorf("exec: MEDL references unknown message %d", me.Msg)
 		}
-		slotStart := bus.SlotStart(me.Round, me.Slot)
+		if me.Hop != 0 {
+			continue
+		}
+		if int(me.Bus) < 0 || int(me.Bus) >= len(sys.Arch.Buses) {
+			return nil, fmt.Errorf("exec: MEDL references unknown bus %d", me.Bus)
+		}
+		slotStart := sys.Arch.Buses[me.Bus].SlotStart(me.Round, me.Slot)
 		if f, ok := finish[key{m.Src, me.Occ}]; ok && f > slotStart {
 			res.Violations = append(res.Violations, Violation{
 				Time: slotStart, Kind: "frame-miss",

@@ -16,17 +16,28 @@ import (
 //     on a node its WCET table allows, running for exactly its WCET,
 //     inside its release/deadline window;
 //   - dispatch tables are sorted and non-overlapping;
-//   - every inter-node message occurrence appears in the MEDL, in a slot
-//     owned by the producer's node, after the producer finishes, arriving
-//     before the consumer starts, without overflowing slot capacity;
+//   - every inter-node message occurrence appears in the MEDL as a full
+//     hop chain along the architecture's deterministic route — every hop
+//     in a slot owned by its transmitting node on the route's bus,
+//     ordered strictly after the previous hop's arrival (hop 0 after the
+//     producer finishes), arriving before the consumer starts, without
+//     overflowing any slot capacity;
 //   - co-located message occurrences do not appear in the MEDL, and the
 //     consumer starts after the producer finishes.
+//
+// The route each chain is checked against comes from model.BuildRoutes,
+// recomputed here rather than trusted from the design, so a scheduler
+// that picked a non-canonical route is caught.
 func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 	var errs []string
 	report := func(format string, args ...interface{}) {
 		errs = append(errs, fmt.Sprintf(format, args...))
 	}
-	bus := sys.Arch.Bus
+	buses := sys.Arch.Buses
+	routes, rerr := model.BuildRoutes(sys.Arch)
+	if rerr != nil {
+		report("architecture has no route table: %v", rerr)
+	}
 
 	type key struct {
 		proc model.ProcID
@@ -59,11 +70,18 @@ func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 	type mkey struct {
 		msg model.MsgID
 		occ int
+		hop int
 	}
 	medlAt := map[mkey]MEDLIndexEntry{}
-	slotLoad := map[[2]int]int{}
+	hopCount := map[[2]int]int{} // (msg, occ) -> number of MEDL hops
+	slotLoad := map[[3]int]int{} // (bus, round, slot) -> bytes
 	for _, e := range d.MEDL {
-		k := mkey{e.Msg, e.Occ}
+		if int(e.Bus) < 0 || int(e.Bus) >= len(buses) {
+			report("message %d occ %d hop %d on nonexistent bus %d", e.Msg, e.Occ, e.Hop, e.Bus)
+			continue
+		}
+		bus := buses[e.Bus]
+		k := mkey{e.Msg, e.Occ, e.Hop}
 		if _, dup := medlAt[k]; dup {
 			report("message %d occ %d in the MEDL more than once", e.Msg, e.Occ)
 			continue
@@ -73,17 +91,19 @@ func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 			continue
 		}
 		medlAt[k] = MEDLIndexEntry{
+			Bus:    e.Bus,
 			Owner:  bus.SlotOrder[e.Slot],
 			Start:  bus.SlotStart(e.Round, e.Slot),
 			Arrive: bus.SlotEnd(e.Round, e.Slot),
 			Bytes:  e.Bytes,
 		}
-		slotLoad[[2]int{e.Round, e.Slot}] += e.Bytes
+		hopCount[[2]int{int(e.Msg), e.Occ}]++
+		slotLoad[[3]int{int(e.Bus), e.Round, e.Slot}] += e.Bytes
 	}
 	for k, load := range slotLoad {
-		if load > bus.SlotBytes[k[1]] {
+		if load > buses[k[0]].SlotBytes[k[2]] {
 			report("slot occurrence (round %d, slot %d) carries %d bytes, capacity %d",
-				k[0], k[1], load, bus.SlotBytes[k[1]])
+				k[1], k[2], load, buses[k[0]].SlotBytes[k[2]])
 		}
 	}
 
@@ -119,9 +139,9 @@ func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 						continue // already reported as missing
 					}
 					srcNode, dstNode := nodeOf[key{m.Src, occ}], nodeOf[key{m.Dst, occ}]
-					me, onBus := medlAt[mkey{m.ID, occ}]
+					hops := hopCount[[2]int{int(m.ID), occ}]
 					if srcNode == dstNode {
-						if onBus {
+						if hops > 0 {
 							report("message %d occ %d between co-located processes is in the MEDL", m.ID, occ)
 						}
 						if dst.Start < src.End {
@@ -130,22 +150,49 @@ func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 						}
 						continue
 					}
-					if !onBus {
+					if hops == 0 {
 						report("inter-node message %d occ %d missing from the MEDL", m.ID, occ)
 						continue
 					}
-					if me.Owner != srcNode {
-						report("message %d occ %d in a slot owned by node %d, producer on node %d",
-							m.ID, occ, me.Owner, srcNode)
+					if routes == nil {
+						continue // no oracle to check the chain against
 					}
-					if me.Start < src.End {
-						report("message %d occ %d slot starts %v before producer ends %v", m.ID, occ, me.Start, src.End)
+					route := routes.Route(srcNode, dstNode)
+					if hops != len(route) {
+						report("message %d occ %d has %d MEDL hops, route from node %d to node %d has %d",
+							m.ID, occ, hops, srcNode, dstNode, len(route))
+						continue
 					}
-					if dst.Start < me.Arrive {
-						report("message %d occ %d consumer starts %v before arrival %v", m.ID, occ, dst.Start, me.Arrive)
+					prevArrive := src.End
+					for i, hop := range route {
+						me, ok := medlAt[mkey{m.ID, occ, i}]
+						if !ok {
+							report("message %d occ %d hop %d missing from the MEDL", m.ID, occ, i)
+							break
+						}
+						if me.Bus != hop.Bus {
+							report("message %d occ %d hop %d on bus %d, route says bus %d",
+								m.ID, occ, i, me.Bus, hop.Bus)
+						}
+						if me.Owner != hop.From {
+							report("message %d occ %d in a slot owned by node %d, producer on node %d",
+								m.ID, occ, me.Owner, hop.From)
+						}
+						if me.Start < prevArrive {
+							if i == 0 {
+								report("message %d occ %d slot starts %v before producer ends %v", m.ID, occ, me.Start, prevArrive)
+							} else {
+								report("message %d occ %d hop %d slot starts %v before hop %d arrives %v",
+									m.ID, occ, i, me.Start, i-1, prevArrive)
+							}
+						}
+						if me.Bytes != m.Bytes {
+							report("message %d occ %d carries %d bytes, model says %d", m.ID, occ, me.Bytes, m.Bytes)
+						}
+						prevArrive = me.Arrive
 					}
-					if me.Bytes != m.Bytes {
-						report("message %d occ %d carries %d bytes, model says %d", m.ID, occ, me.Bytes, m.Bytes)
+					if dst.Start < prevArrive {
+						report("message %d occ %d consumer starts %v before arrival %v", m.ID, occ, dst.Start, prevArrive)
 					}
 				}
 			}
@@ -157,6 +204,7 @@ func Check(d *Design, sys *model.System, apps ...*model.Application) []string {
 // MEDLIndexEntry is the resolved timing of one MEDL line, derived from
 // the bus description during Check.
 type MEDLIndexEntry struct {
+	Bus    model.BusID
 	Owner  model.NodeID
 	Start  tm.Time
 	Arrive tm.Time

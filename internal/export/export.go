@@ -32,21 +32,32 @@ type NodeTable struct {
 	Entries []DispatchEntry `json:"entries"`
 }
 
-// Design is the deployable output of the design process.
+// Design is the deployable output of the design process. RoundLen is
+// the first bus's TDMA round; RoundLens lists every bus's round length
+// and is only present for multi-cluster designs, so single-bus designs
+// serialize exactly as they always have.
 type Design struct {
-	Horizon  tm.Time                       `json:"horizon"`
-	RoundLen tm.Time                       `json:"round_len"`
-	Mapping  map[model.ProcID]model.NodeID `json:"mapping"`
-	Nodes    []NodeTable                   `json:"nodes"`
-	MEDL     []ttp.MEDLEntry               `json:"medl"`
+	Horizon   tm.Time                       `json:"horizon"`
+	RoundLen  tm.Time                       `json:"round_len"`
+	RoundLens []tm.Time                     `json:"round_lens,omitempty"`
+	Mapping   map[model.ProcID]model.NodeID `json:"mapping"`
+	Nodes     []NodeTable                   `json:"nodes"`
+	MEDL      []ttp.MEDLEntry               `json:"medl"`
 }
 
 // Build extracts the deployable design from a schedule state.
 func Build(st *sched.State) (*Design, error) {
+	arch := st.System().Arch
 	d := &Design{
 		Horizon:  st.Horizon(),
-		RoundLen: st.System().Arch.Bus.RoundLen(),
+		RoundLen: arch.Buses[0].RoundLen(),
 		Mapping:  st.Mapping().Clone(),
+	}
+	if len(arch.Buses) > 1 {
+		d.RoundLens = make([]tm.Time, len(arch.Buses))
+		for i, b := range arch.Buses {
+			d.RoundLens[i] = b.RoundLen()
+		}
 	}
 	byNode := map[model.NodeID][]DispatchEntry{}
 	for _, e := range st.ProcEntries() {
@@ -68,9 +79,10 @@ func Build(st *sched.State) (*Design, error) {
 	for _, e := range st.MsgEntries() {
 		placements = append(placements, ttp.Placement{
 			Msg: e.Msg, Occ: e.Occ, Round: e.Round, Slot: e.Slot, Bytes: e.Bytes,
+			Bus: e.Bus, Hop: e.Hop,
 		})
 	}
-	medl, err := ttp.BuildMEDL(st.System().Arch.Bus, placements)
+	medl, err := ttp.BuildMEDLAll(arch.Buses, placements)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,22 @@
-// Package gen produces the synthetic workloads of the paper's evaluation:
-// random layered process graphs with heterogeneous WCETs, applications
-// assembled from them, TTP architectures, and complete incremental-design
-// test cases (an existing workload of ~400 processes already mapped and
-// scheduled, a current application to place, and a future-application
-// profile).
+// Package gen produces synthetic workloads for the incremental-design
+// experiments: random layered process graphs with heterogeneous WCETs,
+// applications assembled from them, TTP platforms, and complete
+// incremental-design test cases (an existing workload of ~400 processes
+// already mapped and scheduled, a current application to place, and a
+// future-application profile).
+//
+// Two platform families are supported. Config.Clusters <= 1 reproduces
+// the paper's evaluation setup exactly: one TDMA bus with one uniform
+// slot per node. Config.Clusters > 1 generalizes it to multi-cluster
+// platforms — Clusters buses of Nodes nodes each, joined in a chain by
+// gateway nodes that own slots on two adjacent buses — with
+// InterClusterFrac of the processes homed on a neighboring cluster so a
+// tunable share of the traffic has to cross gateways hop by hop.
 //
 // All generation is driven by an explicit seed; the same seed always
-// produces the same test case.
+// produces the same test case, and single-cluster output is bit-for-bit
+// identical to what the generator produced before multi-cluster support
+// existed.
 package gen
 
 import (
@@ -20,11 +30,24 @@ import (
 
 // Config controls the generator. Default() mirrors the paper's setup.
 type Config struct {
-	// Architecture.
+	// Architecture. Nodes is the node count per cluster; with Clusters
+	// at most 1 it is the total node count, exactly as in the paper.
 	Nodes        int
 	SlotBytes    int
 	ByteTime     tm.Time
 	SlotOverhead tm.Time
+
+	// Multi-cluster platform. Clusters <= 1 selects the paper's
+	// single-bus family; Clusters > 1 builds that many TDMA buses of
+	// Nodes nodes each, chained by gateway nodes.
+	Clusters int
+	// GatewaysPerLink is how many nodes of cluster c also own a slot on
+	// bus c+1 (minimum and default 1).
+	GatewaysPerLink int
+	// InterClusterFrac is the probability that a process is homed on a
+	// cluster neighboring its graph's home cluster, which is what forces
+	// messages across gateways.
+	InterClusterFrac float64
 
 	// Graph structure.
 	GraphMinProcs int     // smallest graph size
@@ -105,11 +128,27 @@ func Default() Config {
 	}
 }
 
+// Multicluster returns the Default configuration reshaped into a
+// K-cluster platform: nodesPerCluster nodes on each of clusters TDMA
+// buses, adjacent buses joined by one gateway node, and interFrac of
+// the processes homed on a neighboring cluster so that fraction of the
+// traffic has to cross gateways.
+func Multicluster(clusters, nodesPerCluster int, interFrac float64) Config {
+	cfg := Default()
+	cfg.Nodes = nodesPerCluster
+	cfg.Clusters = clusters
+	cfg.GatewaysPerLink = 1
+	cfg.InterClusterFrac = interFrac
+	return cfg
+}
+
 // Generator creates model objects with globally unique IDs.
 type Generator struct {
 	cfg  Config
 	rng  *rand.Rand
 	arch *model.Architecture
+	// home is the current graph's home cluster (multi-cluster only).
+	home int
 
 	nextApp   model.AppID
 	nextGraph model.GraphID
@@ -118,24 +157,78 @@ type Generator struct {
 }
 
 // New returns a generator for the given configuration and seed. The
-// architecture is fixed at construction: cfg.Nodes nodes, one uniform
-// TDMA slot per node in node order.
+// architecture is fixed at construction: cfg.Nodes nodes per cluster,
+// one uniform TDMA slot per node in node order, and — when cfg.Clusters
+// exceeds 1 — a chain of buses whose links are gateway nodes owning a
+// slot on both adjacent buses.
 func New(cfg Config, seed int64) *Generator {
-	arch := &model.Architecture{Bus: &model.Bus{
-		ByteTime:     cfg.ByteTime,
-		SlotOverhead: cfg.SlotOverhead,
-	}}
-	for i := 0; i < cfg.Nodes; i++ {
-		id := model.NodeID(i)
-		arch.Nodes = append(arch.Nodes, &model.Node{ID: id, Name: fmt.Sprintf("N%d", i)})
-		arch.Bus.SlotOrder = append(arch.Bus.SlotOrder, id)
-		arch.Bus.SlotBytes = append(arch.Bus.SlotBytes, cfg.SlotBytes)
+	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), arch: buildArch(cfg)}
+}
+
+func buildArch(cfg Config) *model.Architecture {
+	if cfg.Clusters <= 1 {
+		arch := &model.Architecture{Buses: []*model.Bus{{
+			ByteTime:     cfg.ByteTime,
+			SlotOverhead: cfg.SlotOverhead,
+		}}}
+		bus := arch.Buses[0]
+		for i := 0; i < cfg.Nodes; i++ {
+			id := model.NodeID(i)
+			arch.Nodes = append(arch.Nodes, &model.Node{ID: id, Name: fmt.Sprintf("N%d", i)})
+			bus.SlotOrder = append(bus.SlotOrder, id)
+			bus.SlotBytes = append(bus.SlotBytes, cfg.SlotBytes)
+		}
+		return arch
 	}
-	return &Generator{cfg: cfg, rng: rand.New(rand.NewSource(seed)), arch: arch}
+	gpl := cfg.GatewaysPerLink
+	if gpl < 1 {
+		gpl = 1
+	}
+	if gpl > cfg.Nodes {
+		gpl = cfg.Nodes
+	}
+	arch := &model.Architecture{}
+	for c := 0; c < cfg.Clusters; c++ {
+		bus := &model.Bus{
+			ID:           model.BusID(c),
+			Name:         fmt.Sprintf("bus%d", c),
+			ByteTime:     cfg.ByteTime,
+			SlotOverhead: cfg.SlotOverhead,
+		}
+		for i := 0; i < cfg.Nodes; i++ {
+			id := model.NodeID(c*cfg.Nodes + i)
+			arch.Nodes = append(arch.Nodes, &model.Node{ID: id, Name: fmt.Sprintf("N%d", id)})
+			bus.SlotOrder = append(bus.SlotOrder, id)
+			bus.SlotBytes = append(bus.SlotBytes, cfg.SlotBytes)
+		}
+		// Chain topology: the last gpl nodes of the previous cluster also
+		// own a slot here, making them the gateways between bus c-1 and
+		// bus c.
+		if c > 0 {
+			for j := 0; j < gpl; j++ {
+				gw := model.NodeID(c*cfg.Nodes - gpl + j)
+				bus.SlotOrder = append(bus.SlotOrder, gw)
+				bus.SlotBytes = append(bus.SlotBytes, cfg.SlotBytes)
+			}
+		}
+		arch.Buses = append(arch.Buses, bus)
+	}
+	return arch
 }
 
 // Architecture returns the generator's platform.
 func (g *Generator) Architecture() *model.Architecture { return g.arch }
+
+// totalNodes is the processor count the utilization math divides by.
+// Single-bus platforms keep using cfg.Nodes — the historical behavior,
+// even for loaded systems whose node count differs — while multi-bus
+// platforms count the architecture's actual nodes.
+func (g *Generator) totalNodes() int {
+	if len(g.arch.Buses) > 1 {
+		return len(g.arch.Nodes)
+	}
+	return g.cfg.Nodes
+}
 
 // StartIDsAt moves the generator's ID counters to base so that generated
 // objects cannot collide with an existing system's IDs. Use it on any
@@ -148,16 +241,16 @@ func (g *Generator) StartIDsAt(base int) {
 	g.nextMsg = model.MsgID(base)
 }
 
-// wcetTable draws a heterogeneous WCET table: a base execution time in
-// [WCETMin, WCETMax], varied per allowed node by +-HeteroSpread.
-func (g *Generator) wcetTable() map[model.NodeID]tm.Time {
-	arch := g.arch
+// wcetTable draws a heterogeneous WCET table over the given candidate
+// pool: a base execution time in [WCETMin, WCETMax], varied per allowed
+// node by +-HeteroSpread.
+func (g *Generator) wcetTable(pool []*model.Node) map[model.NodeID]tm.Time {
 	base := g.cfg.WCETMin + tm.Time(g.rng.Int63n(int64(g.cfg.WCETMax-g.cfg.WCETMin+1)))
-	nAllowed := int(math.Ceil(g.cfg.AllowedFrac * float64(len(arch.Nodes))))
+	nAllowed := int(math.Ceil(g.cfg.AllowedFrac * float64(len(pool))))
 	if nAllowed < 1 {
 		nAllowed = 1
 	}
-	perm := g.rng.Perm(len(arch.Nodes))[:nAllowed]
+	perm := g.rng.Perm(len(pool))[:nAllowed]
 	table := make(map[model.NodeID]tm.Time, nAllowed)
 	for _, idx := range perm {
 		f := 1 + g.cfg.HeteroSpread*(2*g.rng.Float64()-1)
@@ -165,9 +258,28 @@ func (g *Generator) wcetTable() map[model.NodeID]tm.Time {
 		if w < 1 {
 			w = 1
 		}
-		table[arch.Nodes[idx].ID] = w
+		table[pool[idx].ID] = w
 	}
 	return table
+}
+
+// procPool returns the candidate nodes for the next process: every node
+// on a single-cluster platform; on a multi-cluster platform the current
+// graph's home cluster or, with probability InterClusterFrac, one of
+// its neighbors — which is what produces gateway-crossing messages.
+func (g *Generator) procPool() []*model.Node {
+	if g.cfg.Clusters <= 1 {
+		return g.arch.Nodes
+	}
+	c := g.home
+	if g.rng.Float64() < g.cfg.InterClusterFrac {
+		if c+1 < g.cfg.Clusters {
+			c++
+		} else {
+			c--
+		}
+	}
+	return g.arch.Nodes[c*g.cfg.Nodes : (c+1)*g.cfg.Nodes]
 }
 
 // graph generates one layered DAG with nProcs processes. Periods and
@@ -175,6 +287,9 @@ func (g *Generator) wcetTable() map[model.NodeID]tm.Time {
 func (g *Generator) graph(name string, nProcs int) *model.Graph {
 	gr := &model.Graph{ID: g.nextGraph, Name: name}
 	g.nextGraph++
+	if g.cfg.Clusters > 1 {
+		g.home = g.rng.Intn(g.cfg.Clusters)
+	}
 
 	// Spread processes over ~sqrt(n) layers so graphs are neither chains
 	// nor bags of independent tasks.
@@ -195,7 +310,7 @@ func (g *Generator) graph(name string, nProcs int) *model.Graph {
 		procs[i] = &model.Process{
 			ID:   g.nextProc,
 			Name: fmt.Sprintf("%s.P%d", name, i),
-			WCET: g.wcetTable(),
+			WCET: g.wcetTable(g.procPool()),
 		}
 		g.nextProc++
 	}

@@ -26,8 +26,8 @@ func TestArchitectureShape(t *testing.T) {
 	if err := arch.Validate(); err != nil {
 		t.Fatalf("generated architecture invalid: %v", err)
 	}
-	if arch.Bus.NumSlots() != 4 {
-		t.Errorf("%d slots, want 4", arch.Bus.NumSlots())
+	if arch.Buses[0].NumSlots() != 4 {
+		t.Errorf("%d slots, want 4", arch.Buses[0].NumSlots())
 	}
 }
 
@@ -108,8 +108,8 @@ func TestAssignPeriods(t *testing.T) {
 	if base <= 0 {
 		t.Fatalf("base period = %v", base)
 	}
-	if base%g.Architecture().Bus.RoundLen() != 0 {
-		t.Errorf("base period %v not a multiple of the TDMA round %v", base, g.Architecture().Bus.RoundLen())
+	if base%g.Architecture().Buses[0].RoundLen() != 0 {
+		t.Errorf("base period %v not a multiple of the TDMA round %v", base, g.Architecture().Buses[0].RoundLen())
 	}
 	for gi, gr := range app.Graphs {
 		if gr.Period != tm.Time(lv[gi])*base {

@@ -31,9 +31,15 @@ func (g *Generator) AssignPeriods(apps []*model.Application, levels [][]int) tm.
 			workPerBase += float64(sum) / float64(levels[ai][gi])
 		}
 	}
-	base := tm.Time(math.Ceil(workPerBase / (float64(g.cfg.Nodes) * g.cfg.TargetUtil)))
+	base := tm.Time(math.Ceil(workPerBase / (float64(g.totalNodes()) * g.cfg.TargetUtil)))
 	base = tm.Max(base, maxWCET)
-	rl := g.arch.Bus.RoundLen()
+	// On multi-cluster platforms the base period must be a multiple of
+	// every bus's round so the hyperperiod stays a whole number of rounds
+	// on each bus; with one bus this is the bus's round, as before.
+	rl := g.arch.Buses[0].RoundLen()
+	for _, b := range g.arch.Buses[1:] {
+		rl = tm.LCM(rl, b.RoundLen())
+	}
 	base = tm.Max(base, 2*rl)
 	// The base period must be a whole number of TDMA rounds, and a whole
 	// number of future Tmin windows (Tmin = base / FutureTminDen) so the
@@ -141,13 +147,28 @@ func (g *Generator) Profile(basePeriod tm.Time) *future.Profile {
 	if den := g.cfg.FutureTminDen; den > 1 {
 		tmin = basePeriod / tm.Time(den)
 	}
-	tneed := tm.Time(g.cfg.FutureUtil * float64(g.cfg.Nodes) * float64(tmin))
-	roundsPerTmin := float64(tmin) / float64(g.arch.Bus.RoundLen())
-	var bytesPerRound int64
-	for _, b := range g.arch.Bus.SlotBytes {
-		bytesPerRound += int64(b)
+	tneed := tm.Time(g.cfg.FutureUtil * float64(g.totalNodes()) * float64(tmin))
+	var bneed int64
+	if len(g.arch.Buses) == 1 {
+		// Keep the historical single-bus arithmetic bit-for-bit.
+		roundsPerTmin := float64(tmin) / float64(g.arch.Buses[0].RoundLen())
+		var bytesPerRound int64
+		for _, b := range g.arch.Buses[0].SlotBytes {
+			bytesPerRound += int64(b)
+		}
+		bneed = int64(g.cfg.FutureBusFrac * roundsPerTmin * float64(bytesPerRound))
+	} else {
+		// Aggregate capacity per Tmin over every bus.
+		var perTmin float64
+		for _, bus := range g.arch.Buses {
+			var bytesPerRound int64
+			for _, b := range bus.SlotBytes {
+				bytesPerRound += int64(b)
+			}
+			perTmin += float64(tmin) / float64(bus.RoundLen()) * float64(bytesPerRound)
+		}
+		bneed = int64(g.cfg.FutureBusFrac * perTmin)
 	}
-	bneed := int64(g.cfg.FutureBusFrac * roundsPerTmin * float64(bytesPerRound))
 	return future.PaperProfile(tmin, tneed, bneed)
 }
 
@@ -208,11 +229,11 @@ func MakeTestCase(cfg Config, seed int64, existingProcs, currentProcs int) (*Tes
 func (g *Generator) scatterHints(app *model.Application) sched.Hints {
 	hints := sched.Hints{}
 	for _, gr := range app.Graphs {
-		prio := sched.Priorities(gr, g.arch.Bus)
+		prio := sched.Priorities(gr, g.arch.Buses[0])
 		for _, p := range gr.Procs {
 			// Keep a full TDMA round of margin beyond the critical-path
 			// estimate: a message can wait up to a round for its slot.
-			span := gr.Deadline - prio[p.ID] - g.arch.Bus.RoundLen()
+			span := gr.Deadline - prio[p.ID] - g.arch.Buses[0].RoundLen()
 			if span <= 0 {
 				continue
 			}

@@ -39,9 +39,10 @@ type Baseline struct {
 	gapLens  map[model.NodeID][]int64 // slack interval lengths per node
 	winSlack map[model.NodeID][]tm.Time
 
-	busFree  []int64 // free bytes per slot occurrence, time order
-	busWin   []int64 // free bytes per Tmin window
-	numSlots int
+	busFree  []int64 // free bytes per slot occurrence, bus order then time order
+	busWin   []int64 // free bytes per Tmin window, summed over buses
+	numSlots []int   // slots per round, per bus
+	busOff   []int   // busFree offset of each bus's occurrence block
 	busTmin  tm.Time // effective window length of busWin (clipped like BusWindowFree)
 }
 
@@ -68,7 +69,15 @@ func NewBaseline(base *sched.State, prof *future.Profile, w Weights) *Baseline {
 
 	b.busFree = slack.BusFreeBytes(base)
 	b.busWin = slack.BusWindowFree(base, prof.Tmin)
-	b.numSlots = base.BusState().Bus().NumSlots()
+	b.numSlots = make([]int, base.NumBuses())
+	b.busOff = make([]int, base.NumBuses())
+	off := 0
+	for bi := 0; bi < base.NumBuses(); bi++ {
+		bst := base.BusStateAt(bi)
+		b.numSlots[bi] = bst.Bus().NumSlots()
+		b.busOff[bi] = off
+		off += bst.Rounds() * b.numSlots[bi]
+	}
 	b.busTmin = prof.Tmin
 	if int(horizon/b.busTmin) == 0 {
 		b.busTmin = horizon // BusWindowFree's single-window clipping
@@ -148,11 +157,14 @@ func (e *Incremental) EvaluateTxn(st *sched.State, txn *sched.Txn) (rep Report, 
 	r.C1P = 100 * frac
 
 	// Criterion 1, messages: patch the touched slot occurrences of the
-	// cached per-occurrence free-bytes vector (time order is round-major,
-	// so occurrence (round, slot) sits at round*numSlots+slot).
+	// cached per-occurrence free-bytes vector (each bus's block is
+	// round-major, so bus bi's occurrence (round, slot) sits at
+	// busOff[bi] + round*numSlots[bi] + slot).
 	e.mBins = append(e.mBins[:0], b.busFree...)
-	for _, d := range txn.BusDeltas() {
-		e.mBins[d.Round*b.numSlots+d.Slot] -= int64(d.Bytes)
+	for bi := range b.numSlots {
+		for _, d := range txn.BusDeltasAt(bi) {
+			e.mBins[b.busOff[bi]+d.Round*b.numSlots[bi]+d.Slot] -= int64(d.Bytes)
+		}
 	}
 	frac, e.remB = pack.BestFitUnpacked(b.mItems, e.mBins, e.remB)
 	r.C1m = 100 * frac
@@ -179,15 +191,18 @@ func (e *Incremental) EvaluateTxn(st *sched.State, txn *sched.Txn) (rep Report, 
 	}
 
 	// Criterion 2, messages: a reservation of d.Bytes removes exactly
-	// that many free bytes from the window holding the occurrence's end.
+	// that many free bytes from the window holding the occurrence's end,
+	// on whichever bus the hop was reserved.
 	e.busWinS = append(e.busWinS[:0], b.busWin...)
-	bus := st.BusState().Bus()
-	for _, d := range txn.BusDeltas() {
-		w := int((bus.SlotEnd(d.Round, d.Slot) - 1) / b.busTmin)
-		if w >= len(e.busWinS) {
-			w = len(e.busWinS) - 1
+	for bi := range b.numSlots {
+		bus := st.BusStateAt(bi).Bus()
+		for _, d := range txn.BusDeltasAt(bi) {
+			w := int((bus.SlotEnd(d.Round, d.Slot) - 1) / b.busTmin)
+			if w >= len(e.busWinS) {
+				w = len(e.busWinS) - 1
+			}
+			e.busWinS[w] -= int64(d.Bytes)
 		}
-		e.busWinS[w] -= int64(d.Bytes)
 	}
 	r.C2m = e.busWinS[0]
 	for _, v := range e.busWinS[1:] {

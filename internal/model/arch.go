@@ -1,6 +1,8 @@
 package model
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -8,15 +10,26 @@ import (
 )
 
 // Node is a processing element: CPU, memory and a communication controller
-// attached to the TDMA bus. Heterogeneity is expressed through per-process
-// WCET tables, not through a node attribute, exactly as in the paper's
-// model (a process has a WCET for each node it may run on).
+// attached to one or more TDMA buses. Heterogeneity is expressed through
+// per-process WCET tables, not through a node attribute, exactly as in the
+// paper's model (a process has a WCET for each node it may run on).
+//
+// Bus attachment is derived, not declared: a node is attached to every bus
+// on which it owns at least one TDMA slot (the TTP discipline — every
+// cluster member transmits in its own slot, so membership and slot
+// ownership coincide). A node attached to two or more buses is a gateway
+// and forwards inter-cluster messages hop by hop.
 type Node struct {
 	ID   NodeID `json:"id"`
 	Name string `json:"name,omitempty"`
 }
 
-// Bus models the TTP time-division multiple-access bus. Time is divided
+// BusID identifies a TDMA bus of the architecture. Bus IDs are dense:
+// Architecture.Buses[i].ID == BusID(i), which Validate enforces, so a
+// BusID doubles as an index everywhere.
+type BusID int
+
+// Bus models one TTP time-division multiple-access bus. Time is divided
 // into slots; slot i belongs to node SlotOrder[i] and can carry a frame of
 // up to SlotBytes[i] bytes. A TDMA round is the sequence of all slots; the
 // round repeats forever. A node may only transmit during its own slots.
@@ -25,7 +38,12 @@ type Node struct {
 // SlotOverhead time units (frame header, CRC, inter-frame gap). The slot
 // duration is therefore fixed regardless of how many bytes the frame
 // actually uses — this is the TTP discipline: the MEDL is static.
+//
+// ID is the bus's position in Architecture.Buses. Single-bus systems may
+// omit it (it defaults to 0, the only legal value there).
 type Bus struct {
+	ID           BusID    `json:"id,omitempty"`
+	Name         string   `json:"name,omitempty"`
 	SlotOrder    []NodeID `json:"slot_order"`
 	SlotBytes    []int    `json:"slot_bytes"`
 	ByteTime     tm.Time  `json:"byte_time"`
@@ -79,11 +97,64 @@ func (b *Bus) SlotsOf(n NodeID) []int {
 	return out
 }
 
-// Architecture is the hardware platform: the nodes and the bus that
-// connects them.
+// Owns reports whether node n owns at least one slot of the bus.
+func (b *Bus) Owns(n NodeID) bool {
+	for _, owner := range b.SlotOrder {
+		if owner == n {
+			return true
+		}
+	}
+	return false
+}
+
+// Architecture is the hardware platform: the nodes and the TDMA buses
+// that connect them. Single-cluster systems have exactly one bus;
+// multi-cluster systems have several, joined by gateway nodes that own
+// slots on two or more buses. The bus graph (buses as vertices, gateways
+// as edges) must be connected so every pair of nodes can communicate.
 type Architecture struct {
 	Nodes []*Node `json:"nodes"`
-	Bus   *Bus    `json:"bus"`
+	Buses []*Bus  `json:"buses"`
+}
+
+// archJSON is the wire shape of Architecture. The legacy singular "bus"
+// key is accepted on input and emitted for single-bus architectures, so
+// every pre-multi-cluster system file round-trips byte-identically.
+type archJSON struct {
+	Nodes []*Node `json:"nodes"`
+	Bus   *Bus    `json:"bus,omitempty"`
+	Buses []*Bus  `json:"buses,omitempty"`
+}
+
+// MarshalJSON emits the legacy {"nodes", "bus"} shape for single-bus
+// architectures and {"nodes", "buses"} otherwise.
+func (a *Architecture) MarshalJSON() ([]byte, error) {
+	if len(a.Buses) == 1 && a.Buses[0].ID == 0 {
+		return json.Marshal(archJSON{Nodes: a.Nodes, Bus: a.Buses[0]})
+	}
+	return json.Marshal(archJSON{Nodes: a.Nodes, Buses: a.Buses})
+}
+
+// UnmarshalJSON accepts both the legacy singular "bus" key and the
+// general "buses" list (exactly one of the two). Unknown keys are always
+// rejected: the architecture is the root of every downstream invariant.
+func (a *Architecture) UnmarshalJSON(data []byte) error {
+	var aux archJSON
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&aux); err != nil {
+		return err
+	}
+	if aux.Bus != nil && len(aux.Buses) > 0 {
+		return fmt.Errorf("model: architecture has both \"bus\" and \"buses\"")
+	}
+	a.Nodes = aux.Nodes
+	if aux.Bus != nil {
+		a.Buses = []*Bus{aux.Bus}
+	} else {
+		a.Buses = aux.Buses
+	}
+	return nil
 }
 
 // Node returns the node with the given ID, or nil.
@@ -106,7 +177,48 @@ func (a *Architecture) NodeIDs() []NodeID {
 	return ids
 }
 
-// Validate checks the architecture for internal consistency.
+// BusesOf returns the IDs of the buses node n is attached to (owns a slot
+// on), ascending. An empty result means the node cannot communicate and
+// is rejected by Validate.
+func (a *Architecture) BusesOf(n NodeID) []BusID {
+	var out []BusID
+	for i, b := range a.Buses {
+		if b.Owns(n) {
+			out = append(out, BusID(i))
+		}
+	}
+	return out
+}
+
+// IsGateway reports whether node n is attached to two or more buses.
+func (a *Architecture) IsGateway(n NodeID) bool {
+	count := 0
+	for _, b := range a.Buses {
+		if b.Owns(n) {
+			count++
+			if count >= 2 {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Gateways returns the gateway nodes (attached to >= 2 buses), ascending.
+func (a *Architecture) Gateways() []NodeID {
+	var out []NodeID
+	for _, n := range a.NodeIDs() {
+		if a.IsGateway(n) {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Validate checks the architecture for internal consistency: unique node
+// IDs, dense bus IDs, well-formed slot tables, every node attached to at
+// least one bus, and a connected bus graph (every pair of nodes must be
+// reachable through gateway hops for messages to be routable).
 func (a *Architecture) Validate() error {
 	if len(a.Nodes) == 0 {
 		return fmt.Errorf("model: architecture has no nodes")
@@ -118,37 +230,45 @@ func (a *Architecture) Validate() error {
 		}
 		seen[n.ID] = true
 	}
-	b := a.Bus
-	if b == nil {
+	if len(a.Buses) == 0 {
 		return fmt.Errorf("model: architecture has no bus")
 	}
-	if len(b.SlotOrder) == 0 {
-		return fmt.Errorf("model: bus has no slots")
-	}
-	if len(b.SlotBytes) != len(b.SlotOrder) {
-		return fmt.Errorf("model: bus has %d slot owners but %d slot capacities",
-			len(b.SlotOrder), len(b.SlotBytes))
-	}
-	if b.ByteTime <= 0 {
-		return fmt.Errorf("model: bus byte time must be positive, got %v", b.ByteTime)
-	}
-	if b.SlotOverhead < 0 {
-		return fmt.Errorf("model: bus slot overhead must be non-negative, got %v", b.SlotOverhead)
-	}
-	owned := map[NodeID]bool{}
-	for i, owner := range b.SlotOrder {
-		if !seen[owner] {
-			return fmt.Errorf("model: slot %d owned by unknown node %d", i, owner)
+	for i, b := range a.Buses {
+		if b == nil {
+			return fmt.Errorf("model: bus %d is null", i)
 		}
-		if b.SlotBytes[i] <= 0 {
-			return fmt.Errorf("model: slot %d has non-positive capacity %d", i, b.SlotBytes[i])
+		if b.ID != BusID(i) {
+			return fmt.Errorf("model: bus at position %d has id %d; bus ids must be dense (id == position)", i, b.ID)
 		}
-		owned[owner] = true
+		if len(b.SlotOrder) == 0 {
+			return fmt.Errorf("model: bus %d has no slots", i)
+		}
+		if len(b.SlotBytes) != len(b.SlotOrder) {
+			return fmt.Errorf("model: bus %d has %d slot owners but %d slot capacities",
+				i, len(b.SlotOrder), len(b.SlotBytes))
+		}
+		if b.ByteTime <= 0 {
+			return fmt.Errorf("model: bus %d byte time must be positive, got %v", i, b.ByteTime)
+		}
+		if b.SlotOverhead < 0 {
+			return fmt.Errorf("model: bus %d slot overhead must be non-negative, got %v", i, b.SlotOverhead)
+		}
+		for si, owner := range b.SlotOrder {
+			if !seen[owner] {
+				return fmt.Errorf("model: bus %d slot %d owned by unknown node %d", i, si, owner)
+			}
+			if b.SlotBytes[si] <= 0 {
+				return fmt.Errorf("model: bus %d slot %d has non-positive capacity %d", i, si, b.SlotBytes[si])
+			}
+		}
 	}
 	for _, n := range a.Nodes {
-		if !owned[n.ID] {
+		if len(a.BusesOf(n.ID)) == 0 {
 			return fmt.Errorf("model: node %d owns no TDMA slot and cannot send messages", n.ID)
 		}
+	}
+	if _, err := BuildRoutes(a); err != nil {
+		return err
 	}
 	return nil
 }

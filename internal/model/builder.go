@@ -22,7 +22,7 @@ type Builder struct {
 
 // NewBuilder returns an empty system builder.
 func NewBuilder() *Builder {
-	return &Builder{arch: Architecture{Bus: &Bus{}}}
+	return &Builder{arch: Architecture{Buses: []*Bus{{}}}}
 }
 
 // Node adds a processing node and returns its ID.
@@ -33,15 +33,32 @@ func (b *Builder) Node(name string) NodeID {
 	return id
 }
 
-// Bus configures the TDMA bus: slot ownership order, per-slot capacities
-// in bytes, time per byte, and per-slot overhead.
+// Bus configures the single (first) TDMA bus: slot ownership order,
+// per-slot capacities in bytes, time per byte, and per-slot overhead.
+// For multi-cluster systems use AddBus to append further buses.
 func (b *Builder) Bus(order []NodeID, bytes []int, byteTime, overhead tm.Time) {
-	b.arch.Bus = &Bus{
+	b.arch.Buses[0] = &Bus{
 		SlotOrder:    order,
 		SlotBytes:    bytes,
 		ByteTime:     byteTime,
 		SlotOverhead: overhead,
 	}
+}
+
+// AddBus appends a further TDMA bus (bus IDs are assigned densely in
+// append order) and returns its ID. Call Bus (or UniformBus) first to
+// configure bus 0. Nodes owning slots on two or more buses become
+// gateways.
+func (b *Builder) AddBus(order []NodeID, bytes []int, byteTime, overhead tm.Time) BusID {
+	id := BusID(len(b.arch.Buses))
+	b.arch.Buses = append(b.arch.Buses, &Bus{
+		ID:           id,
+		SlotOrder:    order,
+		SlotBytes:    bytes,
+		ByteTime:     byteTime,
+		SlotOverhead: overhead,
+	})
+	return id
 }
 
 // UniformBus configures one slot per node, in node order, all with the

@@ -43,12 +43,12 @@ func TestUniformBusCoversAllNodes(t *testing.T) {
 	if err != nil {
 		t.Fatalf("System: %v", err)
 	}
-	if sys.Arch.Bus.NumSlots() != 3 {
-		t.Errorf("%d slots, want 3", sys.Arch.Bus.NumSlots())
+	if sys.Arch.Buses[0].NumSlots() != 3 {
+		t.Errorf("%d slots, want 3", sys.Arch.Buses[0].NumSlots())
 	}
 	for i := 0; i < 3; i++ {
-		if sys.Arch.Bus.SlotBytes[i] != 16 {
-			t.Errorf("slot %d capacity %d, want 16", i, sys.Arch.Bus.SlotBytes[i])
+		if sys.Arch.Buses[0].SlotBytes[i] != 16 {
+			t.Errorf("slot %d capacity %d, want 16", i, sys.Arch.Buses[0].SlotBytes[i])
 		}
 	}
 	// UniformProc must cover every node.

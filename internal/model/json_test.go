@@ -19,9 +19,9 @@ func TestSystemJSONRoundTrip(t *testing.T) {
 	if len(got.Apps) != 1 || got.Apps[0].NumProcs() != 4 {
 		t.Errorf("round trip lost data: %d apps", len(got.Apps))
 	}
-	if got.Arch.Bus.RoundLen() != sys.Arch.Bus.RoundLen() {
+	if got.Arch.Buses[0].RoundLen() != sys.Arch.Buses[0].RoundLen() {
 		t.Errorf("bus round length changed: %v != %v",
-			got.Arch.Bus.RoundLen(), sys.Arch.Bus.RoundLen())
+			got.Arch.Buses[0].RoundLen(), sys.Arch.Buses[0].RoundLen())
 	}
 	if got.Apps[0].Graphs[0].Procs[0].WCET[0] != 20 {
 		t.Error("WCET table lost in round trip")

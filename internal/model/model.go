@@ -220,10 +220,13 @@ type System struct {
 }
 
 // Hyperperiod returns the static cyclic schedule horizon: the least common
-// multiple of every graph period and of the TDMA round length (the TTP
-// cluster cycle must divide the schedule for it to wrap consistently).
+// multiple of every graph period and of every bus's TDMA round length (each
+// TTP cluster cycle must divide the schedule for it to wrap consistently).
 func (s *System) Hyperperiod() tm.Time {
-	ts := []tm.Time{s.Arch.Bus.RoundLen()}
+	ts := make([]tm.Time, 0, len(s.Arch.Buses)+4)
+	for _, b := range s.Arch.Buses {
+		ts = append(ts, b.RoundLen())
+	}
 	for _, a := range s.Apps {
 		for _, g := range a.Graphs {
 			ts = append(ts, g.Period)

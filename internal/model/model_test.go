@@ -195,17 +195,17 @@ func TestValidateRejectsBadInputs(t *testing.T) {
 func TestValidateArchitecture(t *testing.T) {
 	arch := &Architecture{
 		Nodes: []*Node{{ID: 0}, {ID: 1}},
-		Bus: &Bus{
+		Buses: []*Bus{{
 			SlotOrder: []NodeID{0, 1},
 			SlotBytes: []int{8, 8},
 			ByteTime:  1,
-		},
+		}},
 	}
 	if err := arch.Validate(); err != nil {
 		t.Errorf("valid architecture rejected: %v", err)
 	}
 	// A node without a slot cannot send messages.
-	arch.Bus.SlotOrder = []NodeID{0, 0}
+	arch.Buses[0].SlotOrder = []NodeID{0, 0}
 	if err := arch.Validate(); err == nil {
 		t.Error("node without a slot accepted")
 	}

@@ -133,9 +133,14 @@ func (s *System) msgFitsSomeSlot(g *Graph, m *Message) error {
 	}
 	for n := range src.WCET {
 		fits := false
-		for _, slot := range s.Arch.Bus.SlotsOf(n) {
-			if m.Bytes <= s.Arch.Bus.SlotBytes[slot] {
-				fits = true
+		for _, b := range s.Arch.Buses {
+			for _, slot := range b.SlotsOf(n) {
+				if m.Bytes <= b.SlotBytes[slot] {
+					fits = true
+					break
+				}
+			}
+			if fits {
 				break
 			}
 		}

@@ -139,11 +139,15 @@ func (s *State) tryJobOn(jb jobItem, node model.NodeID, hints Hints) (tm.Time, b
 	release := tm.Time(occ) * g.Period
 	deadline := jobDeadline(g, occ)
 
-	type tempRes struct{ round, slot, bytes int }
+	type tempRes struct {
+		bus         model.BusID
+		round, slot int
+		bytes       int
+	}
 	var reserved []tempRes
 	defer func() {
 		for _, r := range reserved {
-			s.bus.Release(r.round, r.slot, r.bytes)
+			s.buses[r.bus].Release(r.round, r.slot, r.bytes)
 		}
 	}()
 
@@ -162,18 +166,30 @@ func (s *State) tryJobOn(jb jobItem, node model.NodeID, hints Hints) (tm.Time, b
 		if off, ok := hints.MsgStart[m.ID]; ok {
 			earliest = tm.Max(earliest, release+off)
 		}
-		round, slot, ok := s.bus.FindSlot(s.jobNode[pred], earliest, m.Bytes, 0)
+		route := s.routes.Route(s.jobNode[pred], node)
+		if len(route) == 0 {
+			return 0, false
+		}
+		var found [4]hopSlot
+		slots, ok := s.findRoute(route, m.Bytes, earliest, found[:0])
 		if !ok && earliest > predEnd {
-			round, slot, ok = s.bus.FindSlot(s.jobNode[pred], predEnd, m.Bytes, 0)
+			slots, ok = s.findRoute(route, m.Bytes, predEnd, found[:0])
 		}
 		if !ok {
 			return 0, false
 		}
-		if err := s.bus.Reserve(round, slot, m.Bytes); err != nil {
-			return 0, false
+		// Reserve the whole chain tentatively so subsequent in-messages
+		// of this job see the capacity taken, exactly like scheduleJob
+		// would take it.
+		for i, hop := range route {
+			if err := s.buses[hop.Bus].Reserve(slots[i].round, slots[i].slot, m.Bytes); err != nil {
+				return 0, false
+			}
+			reserved = append(reserved, tempRes{hop.Bus, slots[i].round, slots[i].slot, m.Bytes})
 		}
-		reserved = append(reserved, tempRes{round, slot, m.Bytes})
-		dataReady = tm.Max(dataReady, s.sys.Arch.Bus.SlotEnd(round, slot))
+		last := route[len(route)-1]
+		dataReady = tm.Max(dataReady,
+			s.buses[last.Bus].Bus().SlotEnd(slots[len(slots)-1].round, slots[len(slots)-1].slot))
 	}
 
 	earliest := dataReady

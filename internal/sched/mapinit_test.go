@@ -137,7 +137,7 @@ func TestPrioritiesDecreaseAlongEdges(t *testing.T) {
 		g.Msg(p3, p4, 4)
 	})
 	g := sys.Apps[0].Graphs[0]
-	prio := Priorities(g, sys.Arch.Bus)
+	prio := Priorities(g, sys.Arch.Buses[0])
 	for _, m := range g.Msgs {
 		if prio[m.Src] <= prio[m.Dst] {
 			t.Errorf("priority(%d)=%v not greater than priority(%d)=%v",
@@ -154,7 +154,7 @@ func TestPrioritiesChainValue(t *testing.T) {
 		g.Msg(p1, p2, 4)
 	})
 	g := sys.Apps[0].Graphs[0]
-	prio := Priorities(g, sys.Arch.Bus)
+	prio := Priorities(g, sys.Arch.Buses[0])
 	// CommEstimate = 4 bytes * 1 tu + round(20)/2 = 14.
 	// prio(P2) = 30; prio(P1) = 20 + 14 + 30 = 64.
 	if prio[g.Procs[1].ID] != 30 {
@@ -163,7 +163,7 @@ func TestPrioritiesChainValue(t *testing.T) {
 	if prio[g.Procs[0].ID] != 64 {
 		t.Errorf("prio(P1) = %v, want 64", prio[g.Procs[0].ID])
 	}
-	if got := CriticalPathLen(g, sys.Arch.Bus); got != 64 {
+	if got := CriticalPathLen(g, sys.Arch.Buses[0]); got != 64 {
 		t.Errorf("CriticalPathLen = %v, want 64", got)
 	}
 }

@@ -1,0 +1,137 @@
+package sched_test
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"incdes/internal/gen"
+	"incdes/internal/model"
+	"incdes/internal/sched"
+)
+
+// TestScheduleInvariantsMulticluster extends the property suite to
+// multi-cluster platforms: across generated 2- and 3-cluster systems,
+// mapping the current application must keep every single-bus invariant
+// per bus (ownership, slot timing, per-bus ledgers — no cross-bus slot
+// aliasing) and additionally respect store-and-forward routing: every
+// message follows its architecture route hop by hop, each gateway hop
+// leaves only after the previous hop arrived, and the frozen base's
+// entries survive byte-identically.
+func TestScheduleInvariantsMulticluster(t *testing.T) {
+	for _, clusters := range []int{2, 3} {
+		cfg := gen.Multicluster(clusters, 3, 0.3)
+		cfg.GraphMinProcs = 4
+		cfg.GraphMaxProcs = 10
+		for seed := int64(1); seed <= 4; seed++ {
+			clusters, seed := clusters, seed
+			t.Run(fmt.Sprintf("clusters=%d/seed=%d", clusters, seed), func(t *testing.T) {
+				tc, err := gen.MakeTestCase(cfg, seed, 30, 15)
+				if err != nil {
+					t.Fatalf("generating test case: %v", err)
+				}
+				if got := len(tc.Sys.Arch.Buses); got != clusters {
+					t.Fatalf("generated %d buses, want %d", got, clusters)
+				}
+				if got := len(tc.Sys.Arch.Gateways()); got != clusters-1 {
+					t.Fatalf("generated %d gateways, want %d", got, clusters-1)
+				}
+				st := tc.Base.Clone()
+				baseProcs := append([]sched.ProcEntry(nil), st.ProcEntries()...)
+				baseMsgs := append([]sched.MsgEntry(nil), st.MsgEntries()...)
+
+				if _, err := st.MapApp(tc.Current, sched.Hints{}); err != nil {
+					t.Fatalf("mapping current application: %v", err)
+				}
+
+				checkNoNodeOverlap(t, st)
+				checkMsgSlotOwnership(t, st)
+				checkSlotCapacity(t, st)
+				checkGatewayForwarding(t, st)
+
+				procs, msgs := st.ProcEntries(), st.MsgEntries()
+				if !reflect.DeepEqual(baseProcs, procs[:len(baseProcs)]) {
+					t.Error("existing applications' process entries changed while mapping the current application")
+				}
+				if !reflect.DeepEqual(baseMsgs, msgs[:len(baseMsgs)]) {
+					t.Error("existing applications' message entries changed while mapping the current application")
+				}
+			})
+		}
+	}
+}
+
+// checkGatewayForwarding verifies the hop chains: every (msg, occ) group
+// of entries follows the architecture's deterministic route exactly —
+// same buses, same endpoints, contiguous hop numbers — and each hop
+// transmits only after the previous hop's frame arrived (store and
+// forward; a gateway cannot forward what it has not received).
+func checkGatewayForwarding(t *testing.T, st *sched.State) {
+	t.Helper()
+	routes, err := model.BuildRoutes(st.System().Arch)
+	if err != nil {
+		t.Fatalf("building route oracle: %v", err)
+	}
+	type key struct {
+		msg model.MsgID
+		occ int
+	}
+	chains := map[key][]sched.MsgEntry{}
+	for _, e := range st.MsgEntries() {
+		k := key{e.Msg, e.Occ}
+		chains[k] = append(chains[k], e)
+	}
+	for k, chain := range chains {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Hop < chain[j].Hop })
+		route := routes.Route(chain[0].Sender, chain[len(chain)-1].Receiver)
+		if len(route) != len(chain) {
+			t.Errorf("msg %d occ %d: %d hops scheduled, route has %d", k.msg, k.occ, len(chain), len(route))
+			continue
+		}
+		for i, e := range chain {
+			if e.Hop != i {
+				t.Errorf("msg %d occ %d: hop numbers not contiguous (%d at position %d)", k.msg, k.occ, e.Hop, i)
+			}
+			if e.Bus != route[i].Bus || e.Sender != route[i].From || e.Receiver != route[i].To {
+				t.Errorf("msg %d occ %d hop %d: scheduled bus %d %d->%d, route says bus %d %d->%d",
+					k.msg, k.occ, i, e.Bus, e.Sender, e.Receiver, route[i].Bus, route[i].From, route[i].To)
+			}
+			if i > 0 {
+				prev := chain[i-1]
+				if e.Ready != prev.Arrive {
+					t.Errorf("msg %d occ %d hop %d: ready %v, previous hop arrives %v (store-and-forward chain broken)",
+						k.msg, k.occ, i, e.Ready, prev.Arrive)
+				}
+				if e.Start < prev.Arrive {
+					t.Errorf("msg %d occ %d hop %d: transmits at %v before previous hop arrived at %v",
+						k.msg, k.occ, i, e.Start, prev.Arrive)
+				}
+			}
+		}
+	}
+}
+
+// TestMulticlusterDeterministicAcrossClones pins that multi-cluster
+// scheduling is a pure function of the input: two independent solves of
+// the same generated case produce byte-identical schedule fingerprints.
+func TestMulticlusterDeterministicAcrossClones(t *testing.T) {
+	cfg := gen.Multicluster(2, 3, 0.3)
+	cfg.GraphMinProcs = 4
+	cfg.GraphMaxProcs = 8
+	tc, err := gen.MakeTestCase(cfg, 7, 20, 10)
+	if err != nil {
+		t.Fatalf("generating test case: %v", err)
+	}
+	a := tc.Base.Clone()
+	b := tc.Base.Clone()
+	if _, err := a.MapApp(tc.Current, sched.Hints{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.MapApp(tc.Current, sched.Hints{}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Fingerprint(), b.Fingerprint()) {
+		t.Error("two identical multi-cluster solves produced different fingerprints")
+	}
+}

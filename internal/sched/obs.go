@@ -1,6 +1,9 @@
 package sched
 
-import "incdes/internal/obs"
+import (
+	"incdes/internal/obs"
+	"incdes/internal/ttp"
+)
 
 // Stats are the scheduler-side observability instruments a State
 // reports into. The zero value (all nil) disables instrumentation; see
@@ -36,3 +39,12 @@ func StatsFrom(r *obs.Registry) Stats {
 // separately via BusState().SetStats. Instruments never influence
 // placement decisions.
 func (s *State) SetStats(st Stats) { s.stats = st }
+
+// SetBusStats attaches bus-side instruments to every TDMA bus ledger of
+// the state; the single-bus form of BusState().SetStats generalized to
+// multi-cluster architectures.
+func (s *State) SetBusStats(st ttp.Stats) {
+	for _, b := range s.buses {
+		b.SetStats(st)
+	}
+}

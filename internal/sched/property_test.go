@@ -86,19 +86,24 @@ func checkNoNodeOverlap(t *testing.T, st *sched.State) {
 
 func checkMsgSlotOwnership(t *testing.T, st *sched.State) {
 	t.Helper()
-	bus := st.System().Arch.Bus
+	buses := st.System().Arch.Buses
 	for _, e := range st.MsgEntries() {
+		if int(e.Bus) < 0 || int(e.Bus) >= len(buses) {
+			t.Errorf("msg %d occ %d hop %d: unknown bus %d", e.Msg, e.Occ, e.Hop, e.Bus)
+			continue
+		}
+		bus := buses[e.Bus]
 		if owner := bus.SlotOrder[e.Slot]; owner != e.Sender {
-			t.Errorf("msg %d occ %d: sent by node %d in slot %d owned by node %d",
-				e.Msg, e.Occ, e.Sender, e.Slot, owner)
+			t.Errorf("msg %d occ %d: sent by node %d in bus %d slot %d owned by node %d",
+				e.Msg, e.Occ, e.Sender, e.Bus, e.Slot, owner)
 		}
 		if want := bus.SlotStart(e.Round, e.Slot); e.Start != want {
-			t.Errorf("msg %d occ %d: Start=%d, slot (%d,%d) starts at %d",
-				e.Msg, e.Occ, e.Start, e.Round, e.Slot, want)
+			t.Errorf("msg %d occ %d: Start=%d, bus %d slot (%d,%d) starts at %d",
+				e.Msg, e.Occ, e.Start, e.Bus, e.Round, e.Slot, want)
 		}
 		if want := bus.SlotEnd(e.Round, e.Slot); e.Arrive != want {
-			t.Errorf("msg %d occ %d: Arrive=%d, slot (%d,%d) ends at %d",
-				e.Msg, e.Occ, e.Arrive, e.Round, e.Slot, want)
+			t.Errorf("msg %d occ %d: Arrive=%d, bus %d slot (%d,%d) ends at %d",
+				e.Msg, e.Occ, e.Arrive, e.Bus, e.Round, e.Slot, want)
 		}
 		if e.Ready > e.Start {
 			t.Errorf("msg %d occ %d: ready at %d but transmitted in slot starting %d",
@@ -109,32 +114,36 @@ func checkMsgSlotOwnership(t *testing.T, st *sched.State) {
 
 func checkSlotCapacity(t *testing.T, st *sched.State) {
 	t.Helper()
-	bus := st.System().Arch.Bus
-	type occ struct{ round, slot int }
+	buses := st.System().Arch.Buses
+	type occ struct{ bus, round, slot int }
 	traffic := map[occ]int{}
 	for _, e := range st.MsgEntries() {
 		if e.Bytes <= 0 {
 			t.Errorf("msg %d occ %d: non-positive payload %d", e.Msg, e.Occ, e.Bytes)
 		}
-		traffic[occ{e.Round, e.Slot}] += e.Bytes
+		traffic[occ{int(e.Bus), e.Round, e.Slot}] += e.Bytes
 	}
-	bs := st.BusState()
 	for o, bytes := range traffic {
+		bus := buses[o.bus]
+		bs := st.BusStateAt(o.bus)
 		if cap := bus.SlotBytes[o.slot]; bytes > cap {
-			t.Errorf("slot occurrence (%d,%d): %d bytes scheduled, capacity %d",
-				o.round, o.slot, bytes, cap)
+			t.Errorf("bus %d slot occurrence (%d,%d): %d bytes scheduled, capacity %d",
+				o.bus, o.round, o.slot, bytes, cap)
 		}
 		if used := bs.Used(o.round, o.slot); used != bytes {
-			t.Errorf("slot occurrence (%d,%d): ledger says %d bytes used, entries sum to %d",
-				o.round, o.slot, used, bytes)
+			t.Errorf("bus %d slot occurrence (%d,%d): ledger says %d bytes used, entries sum to %d",
+				o.bus, o.round, o.slot, used, bytes)
 		}
 	}
-	// And the converse: the ledger holds nothing the entries don't explain.
-	for r := 0; r < bs.Rounds(); r++ {
-		for sl := 0; sl < bus.NumSlots(); sl++ {
-			if used := bs.Used(r, sl); used != traffic[occ{r, sl}] {
-				t.Errorf("slot occurrence (%d,%d): ledger %d bytes, entries %d",
-					r, sl, used, traffic[occ{r, sl}])
+	// And the converse: no ledger holds anything the entries don't explain.
+	for bi := 0; bi < st.NumBuses(); bi++ {
+		bs := st.BusStateAt(bi)
+		for r := 0; r < bs.Rounds(); r++ {
+			for sl := 0; sl < buses[bi].NumSlots(); sl++ {
+				if used := bs.Used(r, sl); used != traffic[occ{bi, r, sl}] {
+					t.Errorf("bus %d slot occurrence (%d,%d): ledger %d bytes, entries %d",
+						bi, r, sl, used, traffic[occ{bi, r, sl}])
+				}
 			}
 		}
 	}

@@ -40,7 +40,13 @@ type ProcEntry struct {
 	End   tm.Time
 }
 
-// MsgEntry is one scheduled message occurrence on the bus.
+// MsgEntry is one scheduled message transmission: one hop of a message
+// occurrence on one TDMA bus. On a single-bus architecture every message
+// occurrence is exactly one hop (Bus 0, Hop 0). On multi-cluster
+// architectures an inter-cluster occurrence expands into a chain of
+// entries — producer to gateway, gateway to gateway, gateway to consumer
+// — sharing (Msg, Occ) and numbered by Hop, each on the bus its sender
+// owns a slot on.
 type MsgEntry struct {
 	App      model.AppID
 	Graph    model.GraphID
@@ -49,11 +55,13 @@ type MsgEntry struct {
 	Round    int
 	Slot     int
 	Bytes    int
-	Sender   model.NodeID
-	Receiver model.NodeID
-	Ready    tm.Time // when the producer finished
-	Start    tm.Time // slot start
-	Arrive   tm.Time // slot end: data available at the receiver
+	Sender   model.NodeID // transmitting node of this hop
+	Receiver model.NodeID // receiving node of this hop
+	Ready    tm.Time      // producer finish (hop 0) or previous hop's Arrive
+	Start    tm.Time      // slot start
+	Arrive   tm.Time      // slot end: data available at the receiver
+	Bus      model.BusID  // bus this hop is transmitted on
+	Hop      int          // position in the occurrence's route chain
 }
 
 // Hints bias the scheduler's placement decisions and are the mechanism

@@ -21,7 +21,11 @@ type State struct {
 	sys     *model.System
 	horizon tm.Time
 	busy    map[model.NodeID]*tm.Set
-	bus     *ttp.State
+	buses   []*ttp.State // one reservation ledger per bus, index == BusID
+
+	// routes is the architecture's precomputed deterministic route table,
+	// shared read-only by every clone of the state.
+	routes *model.RouteTable
 
 	procs   []ProcEntry
 	msgs    []MsgEntry
@@ -42,7 +46,15 @@ type State struct {
 // NewState returns an empty schedule over the system hyperperiod.
 func NewState(sys *model.System) (*State, error) {
 	horizon := sys.Hyperperiod()
-	bus, err := ttp.NewState(sys.Arch.Bus, horizon)
+	buses := make([]*ttp.State, len(sys.Arch.Buses))
+	for i, b := range sys.Arch.Buses {
+		st, err := ttp.NewState(b, horizon)
+		if err != nil {
+			return nil, err
+		}
+		buses[i] = st
+	}
+	routes, err := model.BuildRoutes(sys.Arch)
 	if err != nil {
 		return nil, err
 	}
@@ -54,7 +66,8 @@ func NewState(sys *model.System) (*State, error) {
 		sys:     sys,
 		horizon: horizon,
 		busy:    busy,
-		bus:     bus,
+		buses:   buses,
+		routes:  routes,
 		jobEnd:  map[Job]tm.Time{},
 		jobNode: map[Job]model.NodeID{},
 		mapping: model.Mapping{},
@@ -67,13 +80,17 @@ func (s *State) Clone() *State {
 		sys:     s.sys,
 		horizon: s.horizon,
 		busy:    make(map[model.NodeID]*tm.Set, len(s.busy)),
-		bus:     s.bus.Clone(),
+		buses:   make([]*ttp.State, len(s.buses)),
+		routes:  s.routes,
 		procs:   append([]ProcEntry(nil), s.procs...),
 		msgs:    append([]MsgEntry(nil), s.msgs...),
 		jobEnd:  make(map[Job]tm.Time, len(s.jobEnd)),
 		jobNode: make(map[Job]model.NodeID, len(s.jobNode)),
 		mapping: s.mapping.Clone(),
 		stats:   s.stats,
+	}
+	for i, b := range s.buses {
+		c.buses[i] = b.Clone()
 	}
 	for n, set := range s.busy {
 		c.busy[n] = set.Clone()
@@ -113,10 +130,16 @@ func (s *State) CloneInto(dst *State) *State {
 			delete(dst.busy, n)
 		}
 	}
-	if dst.bus == nil {
-		dst.bus = s.bus.Clone()
-	} else {
-		dst.bus.CopyFrom(s.bus)
+	dst.routes = s.routes
+	if len(dst.buses) != len(s.buses) {
+		dst.buses = make([]*ttp.State, len(s.buses))
+	}
+	for i, b := range s.buses {
+		if dst.buses[i] == nil {
+			dst.buses[i] = b.Clone()
+		} else {
+			dst.buses[i].CopyFrom(b)
+		}
 	}
 	dst.procs = append(dst.procs[:0], s.procs...)
 	dst.msgs = append(dst.msgs[:0], s.msgs...)
@@ -156,8 +179,18 @@ func (s *State) Horizon() tm.Time { return s.horizon }
 // Busy returns the busy interval set of a node (do not modify).
 func (s *State) Busy(n model.NodeID) *tm.Set { return s.busy[n] }
 
-// BusState returns the bus reservation state (do not modify).
-func (s *State) BusState() *ttp.State { return s.bus }
+// BusState returns the first bus's reservation state (do not modify):
+// the whole bus state of a single-bus architecture.
+func (s *State) BusState() *ttp.State { return s.buses[0] }
+
+// NumBuses returns the number of TDMA buses of the architecture.
+func (s *State) NumBuses() int { return len(s.buses) }
+
+// BusStateAt returns bus i's reservation state (do not modify).
+func (s *State) BusStateAt(i int) *ttp.State { return s.buses[i] }
+
+// Routes returns the architecture's deterministic route table.
+func (s *State) Routes() *model.RouteTable { return s.routes }
 
 // ProcEntries returns every scheduled process occurrence (do not modify).
 func (s *State) ProcEntries() []ProcEntry { return s.procs }
@@ -180,42 +213,83 @@ func jobDeadline(g *model.Graph, occ int) tm.Time {
 	return tm.Time(occ)*g.Period + g.Deadline
 }
 
-// planMsg finds (and reserves) a slot occurrence for one message
-// occurrence. release is the occurrence release time k*T; ready is when
-// the producer finishes.
-func (s *State) planMsg(g *model.Graph, m *model.Message, occ int, sender model.NodeID,
-	ready, release tm.Time, hints Hints) (MsgEntry, error) {
+// hopSlot is one found slot occurrence of a route hop.
+type hopSlot struct{ round, slot int }
 
+// findRoute walks a route finding a feasible slot occurrence per hop
+// without reserving anything: hop i's earliest transmit time is the
+// previous hop's arrival. A route never uses the same bus twice (the
+// route search visits each bus at most once), so the unreserved finds
+// cannot interact. Returns false when some hop has no capacity.
+func (s *State) findRoute(route []model.Hop, bytes int, earliest tm.Time, buf []hopSlot) ([]hopSlot, bool) {
+	t := earliest
+	for _, hop := range route {
+		bst := s.buses[hop.Bus]
+		round, slot, ok := bst.FindSlot(hop.From, t, bytes, 0)
+		if !ok {
+			return buf, false
+		}
+		buf = append(buf, hopSlot{round, slot})
+		t = bst.Bus().SlotEnd(round, slot)
+	}
+	return buf, true
+}
+
+// planMsg finds (and reserves) slot occurrences for one message
+// occurrence along the deterministic route from sender to receiver,
+// appending one MsgEntry per hop to out and returning the extended slice
+// with the occurrence's final arrival time. release is the occurrence
+// release time k*T; ready is when the producer finishes. The whole route
+// is found before anything is reserved, so a failed chain reserves
+// nothing.
+func (s *State) planMsg(g *model.Graph, m *model.Message, occ int, sender, receiver model.NodeID,
+	ready, release tm.Time, hints Hints, out []MsgEntry) ([]MsgEntry, tm.Time, error) {
+
+	route := s.routes.Route(sender, receiver)
+	if len(route) == 0 {
+		return out, 0, fmt.Errorf("sched: no route for message %d occ %d (node %d to node %d)",
+			m.ID, occ, sender, receiver)
+	}
 	earliest := ready
 	if off, ok := hints.MsgStart[m.ID]; ok {
 		earliest = tm.Max(earliest, release+off)
 	}
-	round, slot, ok := s.bus.FindSlot(sender, earliest, m.Bytes, 0)
+	var found [4]hopSlot
+	slots, ok := s.findRoute(route, m.Bytes, earliest, found[:0])
 	if !ok && earliest > ready {
 		// The hint is a preference, not a constraint: fall back to the
 		// earliest feasible slot when honoring it is impossible.
-		round, slot, ok = s.bus.FindSlot(sender, ready, m.Bytes, 0)
+		slots, ok = s.findRoute(route, m.Bytes, ready, found[:0])
 	}
 	if !ok {
-		return MsgEntry{}, fmt.Errorf("sched: no slot for message %d occ %d (sender node %d, %d bytes, earliest %v)",
+		return out, 0, fmt.Errorf("sched: no slot for message %d occ %d (sender node %d, %d bytes, earliest %v)",
 			m.ID, occ, sender, m.Bytes, ready)
 	}
-	if err := s.bus.Reserve(round, slot, m.Bytes); err != nil {
-		return MsgEntry{}, err
-	}
-	if t := s.tx(); t != nil {
-		t.bus.Record(round, slot, m.Bytes)
+	hopReady := ready
+	var arrive tm.Time
+	for i, hop := range route {
+		bst := s.buses[hop.Bus]
+		if err := bst.Reserve(slots[i].round, slots[i].slot, m.Bytes); err != nil {
+			return out, 0, err
+		}
+		if t := s.tx(); t != nil {
+			t.bus[hop.Bus].Record(slots[i].round, slots[i].slot, m.Bytes)
+		}
+		b := bst.Bus()
+		arrive = b.SlotEnd(slots[i].round, slots[i].slot)
+		out = append(out, MsgEntry{
+			Graph: g.ID, Msg: m.ID, Occ: occ,
+			Round: slots[i].round, Slot: slots[i].slot, Bytes: m.Bytes,
+			Sender: hop.From, Receiver: hop.To,
+			Ready:  hopReady,
+			Start:  b.SlotStart(slots[i].round, slots[i].slot),
+			Arrive: arrive,
+			Bus:    hop.Bus, Hop: i,
+		})
+		hopReady = arrive
 	}
 	s.stats.MsgsPlaced.Inc()
-	bus := s.sys.Arch.Bus
-	return MsgEntry{
-		Graph: g.ID, Msg: m.ID, Occ: occ,
-		Round: round, Slot: slot, Bytes: m.Bytes,
-		Sender: sender,
-		Ready:  ready,
-		Start:  bus.SlotStart(round, slot),
-		Arrive: bus.SlotEnd(round, slot),
-	}, nil
+	return out, arrive, nil
 }
 
 // scheduleJob places one process occurrence (and the inter-node messages
@@ -247,14 +321,16 @@ func (s *State) scheduleJob(app *model.Application, g *model.Graph, p *model.Pro
 			dataReady = tm.Max(dataReady, predEnd) // same node: shared memory, no bus
 			continue
 		}
-		me, err := s.planMsg(g, m, occ, s.jobNode[pred], predEnd, release, hints)
+		var arrive tm.Time
+		var err error
+		newMsgs, arrive, err = s.planMsg(g, m, occ, s.jobNode[pred], node, predEnd, release, hints, newMsgs)
 		if err != nil {
 			return err
 		}
-		me.App = app.ID
-		me.Receiver = node
-		newMsgs = append(newMsgs, me)
-		dataReady = tm.Max(dataReady, me.Arrive)
+		dataReady = tm.Max(dataReady, arrive)
+	}
+	for i := range newMsgs {
+		newMsgs[i].App = app.ID
 	}
 
 	earliest := dataReady
@@ -337,7 +413,7 @@ func (s *State) jobList(app *model.Application) ([]jobItem, error) {
 			return nil, fmt.Errorf("sched: graph %d period %v does not divide horizon %v",
 				g.ID, g.Period, s.horizon)
 		}
-		prio := Priorities(g, s.sys.Arch.Bus)
+		prio := Priorities(g, s.sys.Arch.Buses[0])
 		order, err := g.TopoOrder()
 		if err != nil {
 			return nil, err
@@ -421,7 +497,7 @@ func Restrict(src *State, sys *model.System, keep func(model.AppID) bool) (*Stat
 		if !keep(m.App) {
 			continue
 		}
-		if err := st.bus.Reserve(m.Round, m.Slot, m.Bytes); err != nil {
+		if err := st.buses[m.Bus].Reserve(m.Round, m.Slot, m.Bytes); err != nil {
 			return nil, fmt.Errorf("sched: restrict: %w", err)
 		}
 		st.msgs = append(st.msgs, m)

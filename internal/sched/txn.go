@@ -36,9 +36,10 @@ type Txn struct {
 
 	// Undo log. procsLen/msgsLen snapshot the append-only entry slices;
 	// everything else records individual reversible writes in order.
+	// bus holds one journal per TDMA bus (index == BusID).
 	procsLen, msgsLen int
 	busy              []busyInsert
-	bus               ttp.Journal
+	bus               []ttp.Journal
 	jobs              []jobUndo
 	maps              []mapUndo
 
@@ -85,7 +86,12 @@ func (s *State) Begin() *Txn {
 	t.open = true
 	t.procsLen, t.msgsLen = len(s.procs), len(s.msgs)
 	t.busy = t.busy[:0]
-	t.bus.Reset()
+	if len(t.bus) != len(s.buses) {
+		t.bus = make([]ttp.Journal, len(s.buses))
+	}
+	for i := range t.bus {
+		t.bus[i].Reset()
+	}
 	t.jobs = t.jobs[:0]
 	t.maps = t.maps[:0]
 	clear(t.dirty)
@@ -136,7 +142,9 @@ func (t *Txn) Rollback() {
 		u := t.busy[i]
 		s.busy[u.node].Remove(u.iv)
 	}
-	s.bus.Revert(&t.bus)
+	for i := range t.bus {
+		s.buses[i].Revert(&t.bus[i])
+	}
 	s.procs = s.procs[:t.procsLen]
 	s.msgs = s.msgs[:t.msgsLen]
 	for i := len(t.jobs) - 1; i >= 0; i-- {
@@ -198,14 +206,25 @@ func (t *Txn) DirtyNodes() []model.NodeID {
 	return out
 }
 
-// BusDeltas returns the recorded slot reservations in record order (do
-// not modify): the dirty slot occurrences of the transaction.
-func (t *Txn) BusDeltas() []ttp.Delta { return t.bus.Deltas() }
+// BusDeltas returns the recorded slot reservations of the first bus in
+// record order (do not modify): the dirty slot occurrences of a
+// single-bus transaction. Multi-bus consumers use BusDeltasAt per bus.
+func (t *Txn) BusDeltas() []ttp.Delta { return t.bus[0].Deltas() }
+
+// BusDeltasAt returns bus i's recorded slot reservations in record order
+// (do not modify).
+func (t *Txn) BusDeltasAt(i int) []ttp.Delta { return t.bus[i].Deltas() }
 
 // DirtyIntervals returns the total number of touched intervals — busy
-// insertions plus bus reservation deltas — the size measure the
-// core.txn_dirty_intervals counter accumulates.
-func (t *Txn) DirtyIntervals() int { return len(t.busy) + t.bus.Len() }
+// insertions plus bus reservation deltas over every bus — the size
+// measure the core.txn_dirty_intervals counter accumulates.
+func (t *Txn) DirtyIntervals() int {
+	n := len(t.busy)
+	for i := range t.bus {
+		n += t.bus[i].Len()
+	}
+	return n
+}
 
 // Fingerprint serializes the state's full schedule content — busy
 // timelines, bus ledger, schedule tables, job bookkeeping and mapping —
@@ -219,10 +238,18 @@ func (s *State) Fingerprint() []byte {
 	for _, n := range s.sys.Arch.NodeIDs() {
 		b = fmt.Appendf(b, "busy[%d]=%v\n", n, s.busy[n].Intervals())
 	}
-	for r := 0; r < s.bus.Rounds(); r++ {
-		for sl := 0; sl < s.bus.Bus().NumSlots(); sl++ {
-			if u := s.bus.Used(r, sl); u != 0 {
-				b = fmt.Appendf(b, "bus[%d,%d]=%d\n", r, sl, u)
+	for bi, bst := range s.buses {
+		for r := 0; r < bst.Rounds(); r++ {
+			for sl := 0; sl < bst.Bus().NumSlots(); sl++ {
+				if u := bst.Used(r, sl); u != 0 {
+					// Bus 0 keeps the historical single-bus key so every
+					// pre-multi-cluster fingerprint stays byte-identical.
+					if bi == 0 {
+						b = fmt.Appendf(b, "bus[%d,%d]=%d\n", r, sl, u)
+					} else {
+						b = fmt.Appendf(b, "bus%d[%d,%d]=%d\n", bi, r, sl, u)
+					}
+				}
 			}
 		}
 	}
@@ -230,7 +257,15 @@ func (s *State) Fingerprint() []byte {
 		b = fmt.Appendf(b, "proc=%+v\n", e)
 	}
 	for _, m := range s.msgs {
-		b = fmt.Appendf(b, "msg=%+v\n", m)
+		// The explicit layout reproduces the historical %+v rendering of
+		// the pre-multi-cluster MsgEntry; Bus/Hop are appended only when
+		// set, so single-bus fingerprints keep their exact bytes.
+		b = fmt.Appendf(b, "msg={App:%d Graph:%d Msg:%d Occ:%d Round:%d Slot:%d Bytes:%d Sender:%d Receiver:%d Ready:%v Start:%v Arrive:%v}",
+			m.App, m.Graph, m.Msg, m.Occ, m.Round, m.Slot, m.Bytes, m.Sender, m.Receiver, m.Ready, m.Start, m.Arrive)
+		if m.Bus != 0 || m.Hop != 0 {
+			b = fmt.Appendf(b, " bus=%d hop=%d", m.Bus, m.Hop)
+		}
+		b = append(b, '\n')
 	}
 	jobs := make([]Job, 0, len(s.jobEnd))
 	for j := range s.jobEnd {

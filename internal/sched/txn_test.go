@@ -167,8 +167,10 @@ func TestCloneIntoDoesNotAlias(t *testing.T) {
 			t.Fatalf("node %d interval set shared between source and clone", n)
 		}
 	}
-	if src.bus == dst.bus {
-		t.Fatal("bus ledger shared between source and clone")
+	for bi := range src.buses {
+		if src.buses[bi] == dst.buses[bi] {
+			t.Fatalf("bus %d ledger shared between source and clone", bi)
+		}
 	}
 
 	// Mutating the clone (scheduling another app touches busy sets, the

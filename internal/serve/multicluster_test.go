@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"incdes/internal/core"
+	"incdes/internal/model"
+	"incdes/internal/tm"
+)
+
+// multiclusterFixture builds a two-cluster system: bus 0 carries nodes
+// N0-N2, bus 1 carries N2-N3, N2 is the gateway. Each application has
+// one process pinned to the left cluster and one pinned to N3, so every
+// application forces at least one gateway-forwarded message. Returns
+// the base-system JSON, the follow-on applications' JSON, and the JSON
+// of the base composed with the first k applications.
+func multiclusterFixture(t testing.TB) (sysJSON []byte, appJSON [][]byte, composed func(k int) []byte) {
+	t.Helper()
+	b := model.NewBuilder()
+	n0 := b.Node("N0")
+	n1 := b.Node("N1")
+	n2 := b.Node("N2")
+	n3 := b.Node("N3")
+	b.Bus([]model.NodeID{n0, n1, n2}, []int{8, 8, 8}, 1, 2)
+	b.AddBus([]model.NodeID{n2, n3}, []int{8, 8}, 1, 2)
+	left := map[model.NodeID]tm.Time{n0: 3, n1: 3}
+	right := map[model.NodeID]tm.Time{n3: 3}
+	anywhere := map[model.NodeID]tm.Time{n0: 3, n1: 3, n2: 3, n3: 3}
+	mk := func(name string) {
+		g := b.App(name).Graph(name+"-g", 120, 120)
+		pl := g.Proc(name+"-pL", left)
+		pr := g.Proc(name+"-pR", right)
+		pa := g.Proc(name+"-pA", anywhere)
+		g.Msg(pl, pr, 4) // crosses the gateway by construction
+		g.Msg(pr, pa, 4)
+	}
+	mk("base")
+	mk("app1")
+	mk("app2")
+	full := b.MustSystem()
+	if len(full.Arch.Buses) != 2 || !full.Arch.IsGateway(n2) {
+		t.Fatal("fixture is not the intended two-cluster topology")
+	}
+
+	writeSys := func(sys *model.System) []byte {
+		var buf bytes.Buffer
+		if err := sys.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	for _, app := range full.Apps[1:] {
+		var buf bytes.Buffer
+		if err := app.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		appJSON = append(appJSON, buf.Bytes())
+	}
+	sysJSON = writeSys(&model.System{Arch: full.Arch, Apps: full.Apps[:1]})
+	composed = func(k int) []byte {
+		return writeSys(&model.System{Arch: full.Arch, Apps: full.Apps[:1+k]})
+	}
+	return sysJSON, appJSON, composed
+}
+
+// TestMulticlusterServedSolveMatchesDirect pins the multi-cluster
+// acceptance contract at the HTTP layer: a two-cluster system solves
+// end to end through POST /v1/solve, the served document is
+// byte-identical to a direct core.Solve, and the design really carries
+// gateway-forwarded traffic (it is not a degenerate single-bus solve).
+func TestMulticlusterServedSolveMatchesDirect(t *testing.T) {
+	_, _, composed := multiclusterFixture(t)
+	_, ts := newTestServer(t)
+
+	var got JobStatusDoc
+	resp := do(t, "POST", ts.URL+"/v1/solve?strategy=mh", composed(2), &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve = %d (job %+v)", resp.StatusCode, got)
+	}
+	if got.Status != StatusDone || got.Solution == nil {
+		t.Fatalf("job doc = %+v", got)
+	}
+
+	sys, err := model.ReadSystem(bytes.NewReader(composed(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildProblem(sys, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := core.Solve(context.Background(), p, core.Options{Strategy: core.MH, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hops := 0
+	for _, e := range sol.State.MsgEntries() {
+		if e.Hop > 0 {
+			hops++
+		}
+	}
+	if hops == 0 {
+		t.Error("multi-cluster solve scheduled no gateway-forwarded entries")
+	}
+	doc, err := NewSolutionDoc(sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotJSON := marshal(t, got.Solution); !bytes.Equal(gotJSON, want) {
+		t.Errorf("served multi-cluster solution differs from direct core.Solve:\nserved: %.200s\ndirect: %.200s", gotJSON, want)
+	}
+}
+
+// TestMulticlusterSessionCommitMatchesOneShot runs the incremental
+// workflow on the two-cluster platform: committing the applications one
+// at a time through a /v1 session yields the byte-identical solution
+// document that one-shot solving the composed system does (chained with
+// AH so the frozen bases coincide), and the session records the chain.
+func TestMulticlusterSessionCommitMatchesOneShot(t *testing.T) {
+	sysJSON, apps, composed := multiclusterFixture(t)
+	_, ts := newTestServer(t)
+
+	id := openSession(t, ts, sysJSON, "")
+	var last JobStatusDoc
+	for _, app := range apps {
+		last = commitApp(t, ts, id, app, "?strategy=ah")
+	}
+	direct := oneShot(t, ts, composed(len(apps)), "?strategy=ah")
+	if !bytes.Equal(marshal(t, last.Solution), marshal(t, direct.Solution)) {
+		t.Errorf("multi-cluster session chain diverges from one-shot solve:\nsession: %.200s\none-shot: %.200s",
+			marshal(t, last.Solution), marshal(t, direct.Solution))
+	}
+	if last.Commit == nil || last.Commit.Version != len(apps) {
+		t.Fatalf("final commit = %+v", last.Commit)
+	}
+
+	var doc SessionDoc
+	if resp := do(t, "GET", ts.URL+"/v1/sessions/"+id, nil, &doc); resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET session = %d", resp.StatusCode)
+	}
+	if len(doc.Versions) != len(apps)+1 {
+		t.Fatalf("session doc = %+v", doc)
+	}
+	for i, v := range doc.Versions {
+		if v.Fingerprint == "" {
+			t.Errorf("version %d has no fingerprint", i)
+		}
+	}
+}

@@ -545,6 +545,15 @@ func (s *Session) Commit(ctx context.Context, app *model.Application, p CommitPa
 			return fmt.Errorf("%w: application %q changes the hyperperiod from %v to %v",
 				ErrIllegalCommit, app.Name, src.Horizon(), hp)
 		}
+		// Every bus's TDMA round must keep dividing the (unchanged)
+		// horizon, or the frozen composite's wrapped slot reservations
+		// would no longer line up with the cluster cycles.
+		for bi, b := range newSys.Arch.Buses {
+			if rl := b.RoundLen(); rl <= 0 || src.Horizon()%rl != 0 {
+				return fmt.Errorf("%w: bus %d round %v does not divide the horizon %v",
+					ErrIllegalCommit, bi, rl, src.Horizon())
+			}
+		}
 		base, err = sched.Restrict(src, newSys, func(model.AppID) bool { return true })
 		if err != nil {
 			return fmt.Errorf("%w: %v", ErrIllegalCommit, err)

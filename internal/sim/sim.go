@@ -9,10 +9,14 @@
 //   - release and deadline: occurrence k of a graph runs inside
 //     [k*T, k*T + D];
 //   - precedence: a consumer starts only after each producer finished
-//     (same node) or after the message's slot occurrence ended (bus);
-//   - TDMA discipline: messages travel in slots owned by the sender's
-//     node, within the horizon, and no slot occurrence overflows its
-//     byte capacity.
+//     (same node) or after the message's final slot occurrence ended
+//     (bus — on multi-cluster architectures, after the last hop of the
+//     gateway-forwarding chain arrives);
+//   - TDMA discipline: every hop travels in a slot owned by its
+//     transmitting node on the bus the architecture's deterministic
+//     route prescribes, gateway hops start only after the previous hop
+//     arrived, slots stay within the horizon, and no slot occurrence of
+//     any bus overflows its byte capacity.
 //
 // The scheduler and the mapping strategies are tested against this oracle
 // on randomized inputs; any disagreement is a bug in one of them.
@@ -58,14 +62,32 @@ func Check(st *sched.State, apps ...*model.Application) []Violation {
 		}
 		procAt[j] = e
 	}
-	msgAt := map[sched.MsgOcc]sched.MsgEntry{}
+	// Group message entries into per-occurrence hop chains (a single-bus
+	// occurrence is a one-hop chain). The same (msg, occ, hop) appearing
+	// twice is a duplicate.
+	msgAt := map[sched.MsgOcc][]sched.MsgEntry{}
 	for _, e := range st.MsgEntries() {
 		k := sched.MsgOcc{Msg: e.Msg, Occ: e.Occ}
-		if prev, dup := msgAt[k]; dup {
-			report("duplicate", "message %d occ %d scheduled twice: %v and %v", e.Msg, e.Occ, prev, e)
+		chain := msgAt[k]
+		dup := false
+		for _, prev := range chain {
+			if prev.Hop == e.Hop {
+				report("duplicate", "message %d occ %d scheduled twice: %v and %v", e.Msg, e.Occ, prev, e)
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		msgAt[k] = e
+		msgAt[k] = append(chain, e)
+	}
+	for _, chain := range msgAt {
+		sort.Slice(chain, func(i, j int) bool { return chain[i].Hop < chain[j].Hop })
+	}
+	routes, rerr := model.BuildRoutes(sys.Arch)
+	if rerr != nil {
+		report("routing", "architecture has no route table: %v", rerr)
 	}
 
 	// Completeness, WCET, release/deadline, precedence.
@@ -106,17 +128,17 @@ func Check(st *sched.State, apps ...*model.Application) []Violation {
 							report("precedence", "message %d occ %d: consumer %d starts %v before producer %d ends %v",
 								m.ID, occ, m.Dst, dst.Start, m.Src, src.End)
 						}
-						if _, onBus := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]; onBus {
+						if chain := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]; len(chain) > 0 {
 							report("bus", "message %d occ %d between co-located processes uses the bus", m.ID, occ)
 						}
 						continue
 					}
-					me, ok := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]
+					chain, ok := msgAt[sched.MsgOcc{Msg: m.ID, Occ: occ}]
 					if !ok {
 						report("missing", "inter-node message %d occ %d not on the bus", m.ID, occ)
 						continue
 					}
-					checkMsg(report, sys, horizon, m, me, src, dst)
+					checkMsg(report, sys, routes, horizon, m, chain, src, dst)
 				}
 			}
 		}
@@ -143,37 +165,76 @@ func appKnown(apps []*model.Application, id model.AppID) bool {
 	return false
 }
 
-func checkMsg(report func(string, string, ...interface{}), sys *model.System, horizon tm.Time,
-	m *model.Message, me sched.MsgEntry, src, dst sched.ProcEntry) {
+// checkMsg validates one inter-node message occurrence's hop chain
+// against the architecture's deterministic route from the producer's
+// node to the consumer's: hop count, per-hop bus and slot ownership,
+// exact slot timing, and the store-and-forward ordering (hop 0 after the
+// producer, each gateway hop after the previous arrival, the consumer
+// after the final arrival).
+func checkMsg(report func(string, string, ...interface{}), sys *model.System, routes *model.RouteTable,
+	horizon tm.Time, m *model.Message, chain []sched.MsgEntry, src, dst sched.ProcEntry) {
 
-	bus := sys.Arch.Bus
-	if me.Slot < 0 || me.Slot >= bus.NumSlots() {
-		report("bus", "message %d occ %d in nonexistent slot %d", m.ID, me.Occ, me.Slot)
+	occ := chain[0].Occ
+	if routes == nil {
+		return // no oracle: the routing violation was already reported
+	}
+	route := routes.Route(src.Node, dst.Node)
+	if len(chain) != len(route) {
+		report("routing", "message %d occ %d has %d hops, route from node %d to node %d has %d",
+			m.ID, occ, len(chain), src.Node, dst.Node, len(route))
 		return
 	}
-	if bus.SlotOrder[me.Slot] != src.Node {
-		report("tdma", "message %d occ %d in slot %d owned by node %d, sender is node %d",
-			m.ID, me.Occ, me.Slot, bus.SlotOrder[me.Slot], src.Node)
+	prevArrive := src.End
+	for i, me := range chain {
+		if me.Hop != i {
+			report("routing", "message %d occ %d hop chain is not contiguous (hop %d at position %d)",
+				m.ID, occ, me.Hop, i)
+			return
+		}
+		hop := route[i]
+		if me.Bus != hop.Bus {
+			report("routing", "message %d occ %d hop %d on bus %d, route says bus %d", m.ID, occ, i, me.Bus, hop.Bus)
+			continue
+		}
+		bus := sys.Arch.Buses[me.Bus]
+		if me.Slot < 0 || me.Slot >= bus.NumSlots() {
+			report("bus", "message %d occ %d in nonexistent slot %d", m.ID, occ, me.Slot)
+			continue
+		}
+		if bus.SlotOrder[me.Slot] != hop.From {
+			report("tdma", "message %d occ %d in slot %d owned by node %d, sender is node %d",
+				m.ID, occ, me.Slot, bus.SlotOrder[me.Slot], hop.From)
+		}
+		if me.Sender != hop.From || me.Receiver != hop.To {
+			report("routing", "message %d occ %d hop %d endpoints (%d -> %d), route says (%d -> %d)",
+				m.ID, occ, i, me.Sender, me.Receiver, hop.From, hop.To)
+		}
+		slotStart := bus.SlotStart(me.Round, me.Slot)
+		slotEnd := bus.SlotEnd(me.Round, me.Slot)
+		if slotStart != me.Start || slotEnd != me.Arrive {
+			report("tdma", "message %d occ %d timing mismatch: entry [%v,%v), slot occurrence [%v,%v)",
+				m.ID, occ, me.Start, me.Arrive, slotStart, slotEnd)
+		}
+		if slotEnd > horizon {
+			report("tdma", "message %d occ %d slot occurrence ends %v after horizon %v", m.ID, occ, slotEnd, horizon)
+		}
+		if slotStart < prevArrive {
+			if i == 0 {
+				report("precedence", "message %d occ %d slot starts %v before producer ends %v",
+					m.ID, occ, slotStart, prevArrive)
+			} else {
+				report("precedence", "message %d occ %d hop %d starts %v before hop %d arrives %v",
+					m.ID, occ, i, slotStart, i-1, prevArrive)
+			}
+		}
+		if me.Bytes != m.Bytes {
+			report("bus", "message %d occ %d entry has %d bytes, model says %d", m.ID, occ, me.Bytes, m.Bytes)
+		}
+		prevArrive = slotEnd
 	}
-	slotStart := bus.SlotStart(me.Round, me.Slot)
-	slotEnd := bus.SlotEnd(me.Round, me.Slot)
-	if slotStart != me.Start || slotEnd != me.Arrive {
-		report("tdma", "message %d occ %d timing mismatch: entry [%v,%v), slot occurrence [%v,%v)",
-			m.ID, me.Occ, me.Start, me.Arrive, slotStart, slotEnd)
-	}
-	if slotEnd > horizon {
-		report("tdma", "message %d occ %d slot occurrence ends %v after horizon %v", m.ID, me.Occ, slotEnd, horizon)
-	}
-	if slotStart < src.End {
-		report("precedence", "message %d occ %d slot starts %v before producer ends %v",
-			m.ID, me.Occ, slotStart, src.End)
-	}
-	if dst.Start < slotEnd {
+	if dst.Start < prevArrive {
 		report("precedence", "message %d occ %d consumer starts %v before arrival %v",
-			m.ID, me.Occ, dst.Start, slotEnd)
-	}
-	if me.Bytes != m.Bytes {
-		report("bus", "message %d occ %d entry has %d bytes, model says %d", m.ID, me.Occ, me.Bytes, m.Bytes)
+			m.ID, occ, dst.Start, prevArrive)
 	}
 }
 
@@ -196,14 +257,14 @@ func checkNodeOverlaps(report func(string, string, ...interface{}), st *sched.St
 }
 
 func checkSlotCapacities(report func(string, string, ...interface{}), sys *model.System, st *sched.State) {
-	used := map[[2]int]int{}
+	used := map[[3]int]int{}
 	for _, e := range st.MsgEntries() {
-		used[[2]int{e.Round, e.Slot}] += e.Bytes
+		used[[3]int{int(e.Bus), e.Round, e.Slot}] += e.Bytes
 	}
 	for key, bytes := range used {
-		if cap := sys.Arch.Bus.SlotBytes[key[1]]; bytes > cap {
+		if cap := sys.Arch.Buses[key[0]].SlotBytes[key[2]]; bytes > cap {
 			report("capacity", "slot occurrence (round %d, slot %d) carries %d bytes, capacity %d",
-				key[0], key[1], bytes, cap)
+				key[1], key[2], bytes, cap)
 		}
 	}
 }

@@ -93,20 +93,28 @@ func MinWindowSlack(idle []tm.Interval, tmin, horizon tm.Time) tm.Time {
 	return min
 }
 
-// BusFreeBytes returns the free capacity of every slot occurrence
-// (the containers for the C1m bin packing), in time order.
+// BusFreeBytes returns the free capacity of every slot occurrence of
+// every bus (the containers for the C1m bin packing): bus 0's
+// occurrences in time order, then bus 1's, and so on. For a single-bus
+// architecture this is exactly the bus's occurrence list in time order.
 func BusFreeBytes(st *sched.State) []int64 {
-	occs := st.BusState().Occurrences()
-	out := make([]int64, len(occs))
-	for i, o := range occs {
-		out[i] = int64(o.FreeBytes)
+	var out []int64
+	for bi := 0; bi < st.NumBuses(); bi++ {
+		occs := st.BusStateAt(bi).Occurrences()
+		if out == nil {
+			out = make([]int64, 0, len(occs)*st.NumBuses())
+		}
+		for _, o := range occs {
+			out = append(out, int64(o.FreeBytes))
+		}
 	}
 	return out
 }
 
 // BusWindowFree splits the horizon into tmin windows and returns the free
-// bus capacity (bytes) per window. A slot occurrence contributes to the
-// window containing its end time (when its frame would be delivered).
+// bus capacity (bytes) per window, summed over every bus. A slot
+// occurrence contributes to the window containing its end time (when its
+// frame would be delivered).
 func BusWindowFree(st *sched.State, tmin tm.Time) []int64 {
 	horizon := st.Horizon()
 	n := int(horizon / tmin)
@@ -115,12 +123,27 @@ func BusWindowFree(st *sched.State, tmin tm.Time) []int64 {
 		tmin = horizon
 	}
 	out := make([]int64, n)
-	for _, o := range st.BusState().Occurrences() {
-		w := int((o.End - 1) / tmin)
-		if w >= n {
-			w = n - 1
+	for bi := 0; bi < st.NumBuses(); bi++ {
+		for _, o := range st.BusStateAt(bi).Occurrences() {
+			w := int((o.End - 1) / tmin)
+			if w >= n {
+				w = n - 1
+			}
+			out[w] += int64(o.FreeBytes)
 		}
-		out[w] += int64(o.FreeBytes)
+	}
+	return out
+}
+
+// PerBusFreeBytes returns the total free bytes of each bus over the
+// horizon, in bus-ID order: the per-cluster capacity view of a
+// multi-cluster design.
+func PerBusFreeBytes(st *sched.State) []int64 {
+	out := make([]int64, st.NumBuses())
+	for bi := 0; bi < st.NumBuses(); bi++ {
+		for _, o := range st.BusStateAt(bi).Occurrences() {
+			out[bi] += int64(o.FreeBytes)
+		}
 	}
 	return out
 }

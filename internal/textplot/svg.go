@@ -52,8 +52,8 @@ func GanttSVG(st *sched.State, width int) string {
 	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
 	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
 
-	// Round grid.
-	rl := st.System().Arch.Bus.RoundLen()
+	// Round grid (first bus's round on multi-cluster architectures).
+	rl := st.System().Arch.Buses[0].RoundLen()
 	for t := tm.Time(0); t <= horizon; t += rl {
 		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%d" stroke="#eeeeee"/>`+"\n",
 			x(t), topPad-6, x(t), busY+laneH)

@@ -232,6 +232,61 @@ type BusConfig struct {
 	SlotBytes    int
 	ByteTime     tm.Time
 	SlotOverhead tm.Time
+	// Clusters splits the PEs over that many TDMA buses (contiguous
+	// blocks in file order, sized as evenly as possible) chained by
+	// gateway nodes: the last PE of each cluster also owns a slot on the
+	// next cluster's bus. 0 or 1 keeps the classic single-bus platform.
+	Clusters int
+}
+
+// buildArch realizes the bus configuration over the file's PEs: one bus
+// carrying every PE, or bus.Clusters buses chained by gateway PEs.
+func buildArch(f *File, bus BusConfig) (*model.Architecture, error) {
+	arch := &model.Architecture{}
+	for i := range f.PEs {
+		arch.Nodes = append(arch.Nodes, &model.Node{ID: model.NodeID(i), Name: fmt.Sprintf("PE%d", f.PEs[i].ID)})
+	}
+	k := bus.Clusters
+	if k <= 1 {
+		b := &model.Bus{ByteTime: bus.ByteTime, SlotOverhead: bus.SlotOverhead}
+		for i := range f.PEs {
+			b.SlotOrder = append(b.SlotOrder, model.NodeID(i))
+			b.SlotBytes = append(b.SlotBytes, bus.SlotBytes)
+		}
+		arch.Buses = []*model.Bus{b}
+		return arch, nil
+	}
+	if k > len(f.PEs) {
+		return nil, fmt.Errorf("tgff: %d clusters but only %d PEs", k, len(f.PEs))
+	}
+	// Contiguous blocks in file order, the first n%k clusters one PE
+	// larger; each cluster's last PE is the gateway onto the next bus.
+	size, rem := len(f.PEs)/k, len(f.PEs)%k
+	lo := 0
+	for c := 0; c < k; c++ {
+		hi := lo + size
+		if c < rem {
+			hi++
+		}
+		b := &model.Bus{
+			ID:           model.BusID(c),
+			Name:         fmt.Sprintf("bus%d", c),
+			ByteTime:     bus.ByteTime,
+			SlotOverhead: bus.SlotOverhead,
+		}
+		for i := lo; i < hi; i++ {
+			b.SlotOrder = append(b.SlotOrder, model.NodeID(i))
+			b.SlotBytes = append(b.SlotBytes, bus.SlotBytes)
+		}
+		if c > 0 {
+			// The previous cluster's last PE owns a slot here too.
+			b.SlotOrder = append(b.SlotOrder, model.NodeID(lo-1))
+			b.SlotBytes = append(b.SlotBytes, bus.SlotBytes)
+		}
+		arch.Buses = append(arch.Buses, b)
+		lo = hi
+	}
+	return arch, nil
 }
 
 // Build assembles the parsed file into a system: one node per @PE block
@@ -240,15 +295,9 @@ type BusConfig struct {
 // table lists their type; arcs become messages sized by the @COMMUN
 // table. The result is validated.
 func (f *File) Build(appName string, bus BusConfig) (*model.System, error) {
-	arch := &model.Architecture{Bus: &model.Bus{
-		ByteTime:     bus.ByteTime,
-		SlotOverhead: bus.SlotOverhead,
-	}}
-	for i := range f.PEs {
-		id := model.NodeID(i)
-		arch.Nodes = append(arch.Nodes, &model.Node{ID: id, Name: fmt.Sprintf("PE%d", f.PEs[i].ID)})
-		arch.Bus.SlotOrder = append(arch.Bus.SlotOrder, id)
-		arch.Bus.SlotBytes = append(arch.Bus.SlotBytes, bus.SlotBytes)
+	arch, err := buildArch(f, bus)
+	if err != nil {
+		return nil, err
 	}
 
 	app := &model.Application{ID: 0, Name: appName}

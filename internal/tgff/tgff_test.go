@@ -176,6 +176,41 @@ func TestTGFFSystemSchedules(t *testing.T) {
 	}
 }
 
+// FuzzBuildClusters hardens the multi-cluster build path: for any
+// parseable TGFF input and any cluster count, Build must either fail
+// cleanly or produce a valid multi-bus system whose bus and gateway
+// counts match the requested cluster chain.
+func FuzzBuildClusters(f *testing.F) {
+	f.Add(sample, 2)
+	f.Add(sample, 1)
+	f.Add("@TASK_GRAPH 0 {\n    PERIOD 10\n    TASK a TYPE 0\n}\n@PE 0 {\n    0 5\n}\n@PE 1 {\n    0 5\n}\n@PE 2 {\n    0 5\n}\n", 3)
+	f.Fuzz(func(t *testing.T, src string, clusters int) {
+		file, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		k := clusters % 8
+		if k < 0 {
+			k = -k
+		}
+		sys, err := file.Build("fuzz", BusConfig{SlotBytes: 16, ByteTime: 1, SlotOverhead: 4, Clusters: k})
+		if err != nil {
+			return
+		}
+		if err := sys.Validate(); err != nil {
+			t.Fatalf("built system fails validation: %v", err)
+		}
+		if k > 1 {
+			if got := len(sys.Arch.Buses); got != k {
+				t.Fatalf("built %d buses, want %d", got, k)
+			}
+			if got := len(sys.Arch.Gateways()); got != k-1 {
+				t.Fatalf("built %d gateways, want %d", got, k-1)
+			}
+		}
+	})
+}
+
 func FuzzParse(f *testing.F) {
 	f.Add(sample)
 	f.Add("@TASK_GRAPH 0 {\n}")

@@ -8,19 +8,26 @@ import (
 	"incdes/internal/tm"
 )
 
-// Placement records where one message occurrence was scheduled on the bus.
-// It is the bus-side output of the static scheduler.
+// Placement records where one message transmission (one hop of an
+// occurrence) was scheduled on a bus. It is the bus-side output of the
+// static scheduler. Bus and Hop are zero for single-bus designs; on
+// multi-cluster architectures an inter-cluster occurrence produces one
+// placement per hop of its route.
 type Placement struct {
 	Msg   model.MsgID
 	Occ   int // occurrence index of the sending graph
 	Round int
 	Slot  int
 	Bytes int
+	Bus   model.BusID // bus this hop is transmitted on
+	Hop   int         // position in the occurrence's route chain
 }
 
 // MEDLEntry is one line of the message descriptor list: inside slot
-// occurrence (Round, Slot) the message occupies [Offset, Offset+Bytes).
-// TTP controllers are configured from exactly this static table.
+// occurrence (Round, Slot) of bus Bus, the message occupies
+// [Offset, Offset+Bytes). TTP controllers are configured from exactly
+// this static table — one table per bus; the bus/hop fields are omitted
+// for single-bus designs so their serialized form is unchanged.
 type MEDLEntry struct {
 	Round  int          `json:"round"`
 	Slot   int          `json:"slot"`
@@ -31,6 +38,8 @@ type MEDLEntry struct {
 	Owner  model.NodeID `json:"owner"`
 	Start  tm.Time      `json:"start"`
 	End    tm.Time      `json:"end"`
+	Bus    model.BusID  `json:"bus,omitempty"`
+	Hop    int          `json:"hop,omitempty"`
 }
 
 // BuildMEDL lays the placements out inside their slot occurrences,
@@ -55,8 +64,8 @@ func BuildMEDL(bus *model.Bus, placements []Placement) ([]MEDLEntry, error) {
 		offset := 0
 		for _, p := range ps {
 			if offset+p.Bytes > bus.SlotBytes[p.Slot] {
-				return nil, fmt.Errorf("ttp: slot occurrence (%d,%d) overflows: offset %d + %d bytes > capacity %d",
-					p.Round, p.Slot, offset, p.Bytes, bus.SlotBytes[p.Slot])
+				return nil, fmt.Errorf("ttp: bus %d slot occurrence (%d,%d) overflows: offset %d + %d bytes > capacity %d",
+					p.Bus, p.Round, p.Slot, offset, p.Bytes, bus.SlotBytes[p.Slot])
 			}
 			medl = append(medl, MEDLEntry{
 				Round: key[0], Slot: key[1], Offset: offset,
@@ -64,6 +73,7 @@ func BuildMEDL(bus *model.Bus, placements []Placement) ([]MEDLEntry, error) {
 				Owner: bus.SlotOrder[p.Slot],
 				Start: bus.SlotStart(key[0], key[1]),
 				End:   bus.SlotEnd(key[0], key[1]),
+				Bus:   p.Bus, Hop: p.Hop,
 			})
 			offset += p.Bytes
 		}
@@ -71,6 +81,41 @@ func BuildMEDL(bus *model.Bus, placements []Placement) ([]MEDLEntry, error) {
 	sort.Slice(medl, func(i, j int) bool {
 		if medl[i].Start != medl[j].Start {
 			return medl[i].Start < medl[j].Start
+		}
+		return medl[i].Offset < medl[j].Offset
+	})
+	return medl, nil
+}
+
+// BuildMEDLAll builds the descriptor list of a multi-bus design: each
+// placement is laid out inside its own bus's slot occurrence, and the
+// merged list is sorted by (Start, Bus, Offset). For a single-bus design
+// the result is byte-identical to BuildMEDL over the same placements.
+func BuildMEDLAll(buses []*model.Bus, placements []Placement) ([]MEDLEntry, error) {
+	perBus := make([][]Placement, len(buses))
+	for _, p := range placements {
+		if int(p.Bus) < 0 || int(p.Bus) >= len(buses) {
+			return nil, fmt.Errorf("ttp: placement of message %d references unknown bus %d", p.Msg, p.Bus)
+		}
+		perBus[p.Bus] = append(perBus[p.Bus], p)
+	}
+	var medl []MEDLEntry
+	for bi, ps := range perBus {
+		if len(ps) == 0 {
+			continue
+		}
+		part, err := BuildMEDL(buses[bi], ps)
+		if err != nil {
+			return nil, err
+		}
+		medl = append(medl, part...)
+	}
+	sort.Slice(medl, func(i, j int) bool {
+		if medl[i].Start != medl[j].Start {
+			return medl[i].Start < medl[j].Start
+		}
+		if medl[i].Bus != medl[j].Bus {
+			return medl[i].Bus < medl[j].Bus
 		}
 		return medl[i].Offset < medl[j].Offset
 	})
